@@ -1,0 +1,40 @@
+//! # smpss-apps — the paper's workloads
+//!
+//! Every algorithm evaluated in §VI of the paper, written against the
+//! `smpss` runtime exactly as the paper's listings write them against the
+//! C pragmas:
+//!
+//! * [`matmul`] — dense hyper-matrix multiply (Fig. 1), the sparse variant
+//!   (Fig. 3), and the flat-matrix variant with on-demand block copies
+//!   (Figs. 9/10 applied to the multiply, §VI.B).
+//! * [`cholesky`] — left-looking in-place blocked Cholesky (Fig. 4) and
+//!   its flat on-demand variant (Fig. 9), including the task-count closed
+//!   forms quoted in §VI.
+//! * [`strassen`] — recursive Strassen multiply over hyper-matrices with
+//!   reused temporaries: the paper's "intensive renaming test case" (§VI.C).
+//! * [`sort`] — Multisort: quadrisection + rank-partitioned parallel merge
+//!   over array regions (Fig. 7 / §VI.D).
+//! * [`nqueens`] — N Queens with the last recursion levels as tasks and
+//!   the partial-solution array renamed by the runtime, not copied by hand
+//!   (§VI.E).
+//! * [`lu`] — blocked LU without pivoting (§IV names it as a classic
+//!   blockable kernel; included as the natural sixth workload).
+//! * [`stencil`] — Jacobi heat diffusion over 2-D array regions: the
+//!   N-dimensional form of the §V.A proposal, scheduled as a wavefront.
+//!
+//! Support types: [`flat::FlatMatrix`] (contiguous `n x n` storage, the
+//! "flat data" of §V) and [`hyper::HyperMatrix`] (the N×N-blocks-of-M×M
+//! hyper-matrices of §IV, with runtime-managed blocks).
+
+pub mod cholesky;
+pub mod flat;
+pub mod hyper;
+pub mod lu;
+pub mod matmul;
+pub mod nqueens;
+pub mod sort;
+pub mod stencil;
+pub mod strassen;
+
+pub use flat::FlatMatrix;
+pub use hyper::HyperMatrix;

@@ -1,0 +1,127 @@
+//! Blocked LU decomposition **without pivoting** on a dense hyper-matrix.
+//!
+//! §IV lists "the LU decomposition without pivoting" among the linear
+//! algebra algorithms that decompose naturally into blocks; §V explains
+//! that it is the *pivoting* variant that resists blocking (and motivates
+//! the array-region extension). The blockable variant is implemented here
+//! as the natural sixth workload: a right-looking factorisation with
+//! `getrf`/`trsm`/`gemm` tasks, structurally the classic tiled LU of the
+//! paper's reference \[10\].
+
+use smpss::{task_def, Runtime};
+use smpss_blas::{Block, Vendor};
+
+use crate::hyper::HyperMatrix;
+
+task_def! {
+    /// Factor the diagonal block in place (unit-lower `L`, upper `U`).
+    pub fn sgetrf_t(inout a: Block, val v: Vendor) {
+        v.getrf_nopiv(a).expect("zero pivot in diagonal block");
+    }
+}
+
+task_def! {
+    /// Row-panel solve: `b ← L⁻¹ · b`.
+    pub fn strsm_l_t(input lu: Block, inout b: Block, val v: Vendor) {
+        v.trsm_llu(lu, b);
+    }
+}
+
+task_def! {
+    /// Column-panel solve: `b ← b · U⁻¹`.
+    pub fn strsm_u_t(input lu: Block, inout b: Block, val v: Vendor) {
+        v.trsm_ru(lu, b);
+    }
+}
+
+task_def! {
+    /// Trailing update: `c -= a · b`.
+    pub fn sgemm_sub_t(input a: Block, input b: Block, inout c: Block, val v: Vendor) {
+        v.gemm_nn_sub(a, b, c);
+    }
+}
+
+/// Right-looking blocked LU without pivoting, in place: on completion the
+/// hyper-matrix holds `L` (unit diagonal implicit) below the diagonal and
+/// `U` on/above it.
+pub fn lu_hyper(rt: &Runtime, a: &HyperMatrix, vendor: Vendor) {
+    let n = a.nblocks();
+    for k in 0..n {
+        sgetrf_t(rt, a.block(k, k), vendor);
+        for j in k + 1..n {
+            strsm_l_t(rt, a.block(k, k), a.block(k, j), vendor);
+        }
+        for i in k + 1..n {
+            strsm_u_t(rt, a.block(k, k), a.block(i, k), vendor);
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                sgemm_sub_t(rt, a.block(i, k), a.block(k, j), a.block(i, j), vendor);
+            }
+        }
+    }
+}
+
+/// Task count of [`lu_hyper`]: `N` getrfs + `N(N-1)` trsms +
+/// `N(N-1)(2N-1)/6` gemms.
+pub fn hyper_task_count(n: usize) -> usize {
+    let gemms: usize = (0..n).map(|k| (n - k - 1) * (n - k - 1)).sum();
+    n + n * (n - 1) + gemms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatMatrix;
+
+    fn dominant(n: usize, seed: u64) -> FlatMatrix {
+        let mut a = FlatMatrix::random(n, seed);
+        for i in 0..n {
+            a.set(i, i, a.at(i, i) + n as f32);
+        }
+        a
+    }
+
+    fn check(threads: usize, n: usize, m: usize) {
+        let rt = Runtime::builder().threads(threads).build();
+        let src = dominant(n * m, 31);
+        let a = HyperMatrix::from_flat(&rt, &src, m);
+        lu_hyper(&rt, &a, Vendor::Tuned);
+        rt.barrier();
+        let got = a.to_flat(&rt);
+        let mut expect = src.clone();
+        expect.lu_nopiv_ref();
+        let scale = src.frob_norm().max(1.0);
+        assert!(
+            got.max_abs_diff(&expect) / scale < 1e-3,
+            "threads={threads} n={n} m={m}: {}",
+            got.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn single_block_equals_getrf() {
+        check(1, 1, 8);
+    }
+
+    #[test]
+    fn tiled_single_thread() {
+        check(1, 4, 4);
+    }
+
+    #[test]
+    fn tiled_parallel() {
+        check(4, 5, 4);
+    }
+
+    #[test]
+    fn task_count_formula() {
+        let rt = Runtime::builder().threads(1).build();
+        let n = 5;
+        let src = dominant(n * 2, 3);
+        let a = HyperMatrix::from_flat(&rt, &src, 2);
+        lu_hyper(&rt, &a, Vendor::Tuned);
+        rt.barrier();
+        assert_eq!(rt.stats().tasks_spawned as usize, hyper_task_count(n));
+    }
+}

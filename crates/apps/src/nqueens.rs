@@ -1,0 +1,191 @@
+//! N Queens (§VI.E): count the placements of N non-attacking queens.
+//!
+//! The decomposition follows the paper: "since it does not handle
+//! recursive tasks, the queens function is decomposed recursively until
+//! the last 4 levels, and those are handled by tasks."
+//!
+//! The distinguishing feature is what happens to the **partial solution
+//! array**. Cilk and the original OpenMP 3.0 tasking model "cannot" share
+//! one array — each branch must copy it by hand. In SMPSs, "the runtime
+//! takes care of it by renaming the array as needed": the main flow keeps
+//! *writing* new prefixes into the same logical array while previously
+//! spawned subtree tasks still *read* their version, so the analyser
+//! renames on every overwrite with live readers. The main thread keeps a
+//! private shadow copy only for control flow (pruning) — data still flows
+//! to tasks exclusively through the runtime-managed array.
+
+use smpss::{task_def, Runtime};
+
+/// Is it safe to put a queen at `(row, col)` given the prefix `sol[..row]`?
+#[inline]
+pub fn safe(sol: &[u32], row: usize, col: u32) -> bool {
+    for (r, &c) in sol[..row].iter().enumerate() {
+        let dr = (row - r) as i64;
+        let dc = (col as i64 - c as i64).abs();
+        if c == col || dc == dr {
+            return false;
+        }
+    }
+    true
+}
+
+/// Count completions of the prefix `sol[..start]` by backtracking over
+/// rows `start..n` (sequential; this is a task body in the SMPSs version).
+pub fn count_completions(sol: &mut [u32], start: usize, n: usize) -> u64 {
+    if start == n {
+        return 1;
+    }
+    let mut total = 0;
+    for col in 0..n as u32 {
+        if safe(sol, start, col) {
+            sol[start] = col;
+            total += count_completions(sol, start + 1, n);
+        }
+    }
+    total
+}
+
+/// Fully sequential solver — "a sequential version should not contain
+/// artifacts necessary for a parallel paradigm" (§VI.E): one solution
+/// array, no copies.
+pub fn nqueens_seq(n: usize) -> u64 {
+    let mut sol = vec![0u32; n];
+    count_completions(&mut sol, 0, n)
+}
+
+task_def! {
+    /// Write one prefix cell. An `inout` chain on the solution array; when
+    /// earlier subtree tasks still read the old prefix, the runtime
+    /// renames (copy-in) instead of blocking — the automatic version of
+    /// the hand-made array duplication Cilk/OpenMP need.
+    #[allow(clippy::ptr_arg)] // the macro materialises &mut Vec<u32>
+    fn set_cell_t(inout sol: Vec<u32>, val row: usize, val col: u32) {
+        sol[row] = col;
+    }
+}
+
+task_def! {
+    /// Explore the whole subtree under the current prefix (the "last 4
+    /// levels" sequential task of §VI.E). The solution count accumulates
+    /// into an untracked atomic — `+` is associative, so serialising the
+    /// counts through dependencies would only fabricate a chain; every
+    /// compared model (Cilk inlets/atomics, OpenMP atomics) accumulates
+    /// the same way.
+    #[allow(clippy::ptr_arg)] // the macro materialises &Vec<u32>
+    fn explore_t(input sol: Vec<u32>, val total: std::sync::Arc<std::sync::atomic::AtomicU64>,
+                 val start: usize, val n: usize) {
+        let mut board = sol.clone();
+        let found = count_completions(&mut board, start, n);
+        total.fetch_add(found, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Task-parallel N Queens: decompose the first `n - task_levels` rows on
+/// the main flow, spawn one task per surviving prefix. Returns the
+/// solution count.
+pub fn nqueens_smpss(rt: &Runtime, n: usize, task_levels: usize) -> u64 {
+    let split = n.saturating_sub(task_levels);
+    let total = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let sol = rt.data(vec![0u32; n]);
+    let mut shadow = vec![0u32; n];
+    descend(rt, n, split, 0, &mut shadow, &sol, &total);
+    rt.barrier();
+    total.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+fn descend(
+    rt: &Runtime,
+    n: usize,
+    split: usize,
+    depth: usize,
+    shadow: &mut [u32],
+    sol: &smpss::Handle<Vec<u32>>,
+    total: &std::sync::Arc<std::sync::atomic::AtomicU64>,
+) {
+    if depth == split {
+        explore_t(rt, sol, std::sync::Arc::clone(total), depth, n);
+        return;
+    }
+    for col in 0..n as u32 {
+        if safe(shadow, depth, col) {
+            shadow[depth] = col;
+            set_cell_t(rt, sol, depth, col);
+            descend(rt, n, split, depth + 1, shadow, sol, total);
+        }
+    }
+}
+
+/// Known solution counts for validation.
+pub const KNOWN_COUNTS: &[(usize, u64)] = &[
+    (1, 1),
+    (2, 0),
+    (3, 0),
+    (4, 2),
+    (5, 10),
+    (6, 4),
+    (7, 40),
+    (8, 92),
+    (9, 352),
+    (10, 724),
+    (11, 2680),
+    (12, 14200),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_matches_known_counts() {
+        for &(n, expect) in KNOWN_COUNTS.iter().filter(|&&(n, _)| n <= 9) {
+            assert_eq!(nqueens_seq(n), expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn smpss_matches_sequential_single_thread() {
+        let rt = Runtime::builder().threads(1).build();
+        assert_eq!(nqueens_smpss(&rt, 8, 4), 92);
+    }
+
+    #[test]
+    fn smpss_matches_sequential_parallel() {
+        let rt = Runtime::builder().threads(4).build();
+        assert_eq!(nqueens_smpss(&rt, 9, 4), 352);
+    }
+
+    #[test]
+    fn task_levels_extremes() {
+        let rt = Runtime::builder().threads(2).build();
+        // Everything in one task.
+        assert_eq!(nqueens_smpss(&rt, 7, 7), 40);
+        // Decompose almost everything on the main flow.
+        assert_eq!(nqueens_smpss(&rt, 7, 1), 40);
+        // task_levels larger than n: single task as well.
+        assert_eq!(nqueens_smpss(&rt, 6, 10), 4);
+    }
+
+    /// The paper's §VI.E claim: SMPSs needs no hand copies because the
+    /// runtime renames the solution array under pending readers.
+    #[test]
+    fn renaming_carries_prefixes() {
+        let rt = Runtime::builder().threads(4).build();
+        assert_eq!(nqueens_smpss(&rt, 8, 4), 92);
+        let st = rt.stats();
+        assert!(
+            st.renames > 0,
+            "prefix overwrites with live subtree readers must rename"
+        );
+        assert_eq!(st.anti_edges, 0);
+    }
+
+    #[test]
+    fn safe_predicate() {
+        let sol = [0u32, 2];
+        assert!(!safe(&sol, 2, 0)); // same column as row 0
+        assert!(!safe(&sol, 2, 1)); // diagonal with row 1
+        assert!(!safe(&sol, 2, 2)); // same column as row 1 (and diag row 0)
+        assert!(!safe(&sol, 2, 3)); // diagonal with row 1
+        assert!(safe(&sol, 2, 4));
+    }
+}

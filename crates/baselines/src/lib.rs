@@ -1,0 +1,32 @@
+//! # smpss-baselines — the paper's comparison systems
+//!
+//! §VI compares SMPSs against Cilk 5, the (Nanos) OpenMP 3.0 tasking
+//! prototype, and the multithreaded builds of Goto BLAS and Intel MKL.
+//! None of those exact artefacts is available, so this crate implements
+//! behaviourally equivalent baselines:
+//!
+//! * [`forkjoin`] — a fork-join task pool with **spawn / sync** semantics
+//!   and *no* dependency analysis, in two scheduling flavours:
+//!   work-stealing per-worker deques (the Cilk 5 scheduler) and one
+//!   central queue (the original OpenMP 3.0 task-pool proposal). Both
+//!   share the restriction the paper attributes to them: tasks at the
+//!   same recursion level cannot exchange data except through explicit
+//!   `sync`, and partial state must be **copied by hand** into each task.
+//! * [`cilk`] / [`omp_tasks`] — the Multisort and N Queens applications
+//!   written against those runtimes, structured exactly as §VI.D/E
+//!   describes each version (Cilk fully recursive; OpenMP recursive with
+//!   the last four levels as one sequential task; both duplicating the
+//!   partial-solution array at every task entrance).
+//! * [`threaded_blas`] — "Threaded Goto"/"Threaded MKL" stand-ins: the
+//!   *sequential* Cholesky/matmul control flow where parallelism exists
+//!   only **inside** each BLAS call (fork-join with a barrier per call).
+//!   This is the structural reason the paper's Figures 11–12 show those
+//!   libraries saturating: between dependent calls everything
+//!   synchronises.
+
+pub mod cilk;
+pub mod forkjoin;
+pub mod omp_tasks;
+pub mod threaded_blas;
+
+pub use forkjoin::{ForkJoinPool, Joiner, Policy};

@@ -1,0 +1,111 @@
+//! The OpenMP-3.0-tasking-style baseline applications (§VI.D, §VI.E,
+//! §VII.B).
+//!
+//! "The original task pool proposal does not contemplate dependencies":
+//! tasks go to one central queue, siblings synchronise only through
+//! `taskwait`, and — like Cilk — "at each nested task entrance the OpenMP
+//! tasking version requires allocating a copy of the partial solution
+//! array". The N Queens version follows the paper exactly: "to allow
+//! certain amount of task granularity, the last 4 levels of recursion are
+//! computed by a sequential task that does not get decomposed".
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cilk::SortParams;
+use crate::forkjoin::{ForkJoinPool, Joiner, Policy, TaskCtx};
+
+/// An OpenMP-3.0-flavoured pool: one central task queue.
+pub fn pool(threads: usize) -> ForkJoinPool {
+    ForkJoinPool::new(threads, Policy::CentralQueue)
+}
+
+pub type Elm = i64;
+
+/// OpenMP-tasks multisort: identical task structure to the Cilk version
+/// (OpenMP 3.0 supports nested tasks), scheduled from the central queue.
+pub fn multisort(pool: &ForkJoinPool, data: &mut [Elm], params: SortParams) {
+    crate::cilk::multisort_on(pool, data, params)
+}
+
+/// OpenMP-tasks N Queens: recursive task decomposition with the last
+/// `seq_levels` rows explored by one sequential task, and a hand-copied
+/// solution array per task.
+pub fn nqueens(pool: &ForkJoinPool, n: usize, seq_levels: usize) -> u64 {
+    let total = Arc::new(AtomicU64::new(0));
+    let split = n.saturating_sub(seq_levels);
+    let t = Arc::clone(&total);
+    pool.run(|ctx| {
+        queens_rec(ctx, vec![0u32; n], 0, split, n, &t);
+    });
+    total.load(Ordering::SeqCst)
+}
+
+fn queens_rec(
+    ctx: &TaskCtx<'_>,
+    sol: Vec<u32>,
+    row: usize,
+    split: usize,
+    n: usize,
+    total: &Arc<AtomicU64>,
+) {
+    if row == split {
+        // The sequential leaf task of §VI.E.
+        let mut board = sol;
+        total.fetch_add(
+            smpss_apps::nqueens::count_completions(&mut board, row, n),
+            Ordering::Relaxed,
+        );
+        return;
+    }
+    let j = Joiner::new();
+    for col in 0..n as u32 {
+        if smpss_apps::nqueens::safe(&sol, row, col) {
+            let mut copy = sol.clone(); // the hand-made duplication
+            copy[row] = col;
+            let total = Arc::clone(total);
+            ctx.spawn(&j, move |ctx| {
+                queens_rec(ctx, copy, row + 1, split, n, &total)
+            });
+        }
+    }
+    ctx.sync(&j); // taskwait
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smpss_apps::sort::random_input;
+
+    #[test]
+    fn multisort_sorts_central_queue() {
+        let pool = pool(3);
+        let input = random_input(5000, 5);
+        let mut v = input.clone();
+        multisort(
+            &pool,
+            &mut v,
+            SortParams {
+                quick_size: 64,
+                merge_size: 128,
+            },
+        );
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn nqueens_matches_known() {
+        let pool = pool(4);
+        assert_eq!(nqueens(&pool, 8, 4), 92);
+        assert_eq!(nqueens(&pool, 6, 4), 4);
+    }
+
+    #[test]
+    fn nqueens_split_extremes() {
+        let pool = pool(2);
+        assert_eq!(nqueens(&pool, 7, 0), 40); // decompose everything
+        assert_eq!(nqueens(&pool, 7, 7), 40); // one sequential task
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the `smpss-blas` kernels: the two vendors'
+//! gemm at the paper's block sizes, plus the Cholesky-step kernels.
+//! These rates feed the calibration used by the figure harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpss_blas::{flops, Block, Vendor};
+
+fn gemm_vendors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for &m in &[64usize, 128, 256] {
+        g.throughput(Throughput::Elements(flops::gemm(m) as u64));
+        let a = Block::random(m, 1);
+        let b = Block::random(m, 2);
+        for vendor in [Vendor::Tuned, Vendor::Reference] {
+            g.bench_with_input(
+                BenchmarkId::new(vendor.label(), m),
+                &m,
+                |bench, _| {
+                    let mut cblk = Block::zeros(m);
+                    bench.iter(|| vendor.gemm_add(&a, &b, &mut cblk));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn cholesky_step_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cholesky_kernels");
+    g.sample_size(10);
+    let m = 128;
+    let spd = Block::random_spd(m, 3);
+    let x = Block::random(m, 4);
+
+    g.bench_function("spotrf_128", |b| {
+        b.iter(|| {
+            let mut a = spd.clone();
+            Vendor::Tuned.potrf(&mut a).unwrap();
+        });
+    });
+    let mut l = spd.clone();
+    Vendor::Tuned.potrf(&mut l).unwrap();
+    g.bench_function("strsm_128", |b| {
+        b.iter(|| {
+            let mut bb = x.clone();
+            Vendor::Tuned.trsm_rlt(&l, &mut bb);
+        });
+    });
+    g.bench_function("ssyrk_128", |b| {
+        let mut cblk = spd.clone();
+        b.iter(|| Vendor::Tuned.syrk_sub(&x, &mut cblk));
+    });
+    g.bench_function("gemm_nt_sub_128", |b| {
+        let mut cblk = spd.clone();
+        b.iter(|| Vendor::Tuned.gemm_nt_sub(&x, &x, &mut cblk));
+    });
+    g.finish();
+}
+
+fn block_copies(c: &mut Criterion) {
+    // The get_block/put_block tasks of Figures 9/10.
+    let mut g = c.benchmark_group("block_copy");
+    g.sample_size(10);
+    let n = 1024;
+    let m = 256;
+    let flat = smpss_apps::FlatMatrix::random(n, 5);
+    g.throughput(Throughput::Bytes((m * m * 4) as u64));
+    g.bench_function("get_block_256", |b| {
+        let mut blk = Block::zeros(m);
+        b.iter(|| flat.copy_block_out(m, 1, 2, &mut blk));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, gemm_vendors, cholesky_step_kernels, block_copies);
+criterion_main!(benches);

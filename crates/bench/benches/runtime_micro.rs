@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the runtime primitives: task spawn +
+//! dependency analysis throughput, chain execution, renaming cost,
+//! region-overlap analysis, barrier latency.
+//!
+//! These measure the real overheads that the simulator's
+//! `spawn_overhead_us` / `dispatch_overhead_us` parameters abstract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpss::{region, task_def, Runtime};
+
+task_def! {
+    fn nop_t(inout x: u64) { *x = x.wrapping_add(1); }
+}
+
+task_def! {
+    fn three_param(input a: u64, input b: u64, output c: u64) { *c = *a + *b; }
+}
+
+fn spawn_and_run_independent(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spawn_independent");
+    g.sample_size(10);
+    for &n in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let rt = Runtime::builder().threads(1).build();
+                let hs: Vec<_> = (0..n).map(|_| rt.data(0u64)).collect();
+                for h in &hs {
+                    nop_t(&rt, h);
+                }
+                rt.barrier();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn spawn_and_run_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spawn_chain");
+    g.sample_size(10);
+    for &n in &[100usize, 1000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let rt = Runtime::builder().threads(1).build();
+                let h = rt.data(0u64);
+                for _ in 0..n {
+                    nop_t(&rt, &h);
+                }
+                rt.barrier();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn dependency_analysis_three_params(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis_3param");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("500 tasks", |b| {
+        b.iter(|| {
+            let rt = Runtime::builder().threads(1).build();
+            let a = rt.data(1u64);
+            let x = rt.data(2u64);
+            let out = rt.data(0u64);
+            for _ in 0..500 {
+                three_param(&rt, &a, &x, &out);
+            }
+            rt.barrier();
+        });
+    });
+    g.finish();
+}
+
+fn renaming_pressure(c: &mut Criterion) {
+    // Writer overwrites while readers are pending: every iteration forces
+    // rename + copy-in of a 1 KiB payload.
+    let mut g = c.benchmark_group("renaming");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(200));
+    for renaming in [true, false] {
+        g.bench_function(if renaming { "on" } else { "off" }, move |b| {
+            b.iter(|| {
+                let rt = Runtime::builder().threads(2).renaming(renaming).build();
+                let src = rt.data(vec![0u8; 1024]);
+                let sink = rt.data(0u64);
+                for _ in 0..200 {
+                    // reader of src
+                    let mut sp = rt.task("reader");
+                    let mut r = sp.read(&src);
+                    let mut w = sp.inout(&sink);
+                    sp.submit(move || {
+                        *w.get_mut() += r.get()[0] as u64;
+                    });
+                    // inout writer of src (renames when the reader pends)
+                    let mut sp = rt.task("writer");
+                    let mut w = sp.inout(&src);
+                    sp.submit(move || {
+                        w.get_mut()[0] = w.get_mut()[0].wrapping_add(1);
+                    });
+                }
+                rt.barrier();
+            });
+        });
+    }
+    g.finish();
+}
+
+fn region_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_analysis");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("256 disjoint writers", |b| {
+        b.iter(|| {
+            let rt = Runtime::builder().threads(1).build();
+            let data = rt.region_data(vec![0u8; 256 * 64]);
+            for k in 0..256usize {
+                let (lo, hi) = (k * 64, k * 64 + 63);
+                let mut sp = rt.task("w");
+                let mut w = sp.write_region(&data, region![lo..=hi]);
+                sp.submit(move || {
+                    w.slice_mut(lo, hi)[0] = k as u8;
+                });
+            }
+            rt.barrier();
+        });
+    });
+    g.finish();
+}
+
+fn barrier_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    g.sample_size(10);
+    g.bench_function("empty barrier", |b| {
+        let rt = Runtime::builder().threads(2).build();
+        b.iter(|| rt.barrier());
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    spawn_and_run_independent,
+    spawn_and_run_chain,
+    dependency_analysis_three_params,
+    renaming_pressure,
+    region_analysis,
+    barrier_latency
+);
+criterion_main!(benches);

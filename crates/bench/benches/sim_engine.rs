@@ -1,0 +1,43 @@
+//! Criterion benchmarks of the discrete-event simulator itself: events
+//! per second on the graph shapes the figure harnesses replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smpss_sim::graph::{chain, independent};
+use smpss_sim::{simulate, MachineConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_engine");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let flat = independent(n, 5.0);
+        g.bench_with_input(BenchmarkId::new("independent_32t", n), &n, |b, _| {
+            let cfg = MachineConfig::with_threads(32);
+            b.iter(|| simulate(&flat, &cfg));
+        });
+        let ch = chain(n, 5.0);
+        g.bench_with_input(BenchmarkId::new("chain_32t", n), &n, |b, _| {
+            let cfg = MachineConfig::with_threads(32);
+            b.iter(|| simulate(&ch, &cfg));
+        });
+    }
+    g.finish();
+}
+
+fn engine_on_real_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_real_graph");
+    g.sample_size(10);
+    let record = smpss_bench::record::cholesky_flat_graph(16);
+    let graph = smpss_sim::SimGraph::from_record(&record, |name| {
+        smpss_sim::models::KernelRates::default().task_cost_us(name, 256)
+    });
+    g.throughput(Throughput::Elements(graph.node_count() as u64));
+    g.bench_function("cholesky_16blocks_32t", |b| {
+        let cfg = MachineConfig::with_threads(32);
+        b.iter(|| simulate(&graph, &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, engine_on_real_graph);
+criterion_main!(benches);

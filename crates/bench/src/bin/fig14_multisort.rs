@@ -1,0 +1,119 @@
+//! Figure 14: Multisort speedup vs the sequential implementation, for
+//! Cilk, OpenMP-3.0 tasks, and SMPSs.
+//!
+//! Expected shape (paper): "All three versions scale similarly, with
+//! SMPSs having slightly better performance than the others" — roughly
+//! 16x at 32 threads.
+
+use smpss_apps::sort::SortParams;
+use smpss_bench::calibrate::Calibration;
+use smpss_bench::dags::{forkjoin_multisort, multisort_seq_work_us, FjCosts};
+use smpss_bench::record::multisort_graph;
+use smpss_bench::series::Table;
+use smpss_bench::PAPER_THREADS;
+use smpss_sim::{simulate, MachineConfig, SimGraph, SimPolicy};
+
+fn main() {
+    let quick = smpss_bench::quick_mode();
+    let n: usize = if quick { 1 << 18 } else { 1 << 22 };
+    // "We have run each of these algorithms with 32 threads and a range
+    // of block sizes and selected the best performing one" (§VI) — the
+    // grain balances task-management overhead (the main thread analyses
+    // tasks serially) against parallelism, exactly like Figure 8's block
+    // size. n/256 gives 32 threads ample slack without drowning the
+    // spawner.
+    let grain = (n / 256).max(1024);
+    let cal = if quick {
+        Calibration::default()
+    } else {
+        Calibration::measure()
+    };
+    let fj = FjCosts::default();
+    println!("# Figure 14 — Multisort of {n} elements, grain {grain}\n");
+
+    let seq_us = multisort_seq_work_us(n, grain, &cal);
+
+    // SMPSs: real recorded region graph.
+    let smpss_record = multisort_graph(
+        n,
+        SortParams {
+            quick_size: grain,
+            merge_chunk: grain,
+        },
+    );
+    let smpss_graph = SimGraph::from_record(&smpss_record, |name| match name {
+        "seqquick" => cal.seqquick_us(grain),
+        "seqmerge" => cal.seqmerge_us(grain),
+        other => panic!("unexpected sort task {other}"),
+    });
+    println!(
+        "SMPSs graph: {} tasks / fork-join DAG below for the baselines",
+        smpss_graph.node_count()
+    );
+
+    // Baselines: synthetic fork-join DAG (same decomposition), two
+    // scheduling policies.
+    let fj_graph = forkjoin_multisort(n, grain, grain, &cal, &fj);
+    println!("fork-join DAG: {} tasks\n", fj_graph.node_count());
+
+    let mut table = Table::new(
+        "Fig 14: Multisort speedup vs sequential",
+        "threads",
+        &["Cilk", "OMP3 tasks", "SMPSs"],
+    );
+    for &p in PAPER_THREADS {
+        // Per-runtime overheads: Cilk's THE protocol is famously cheap;
+        // a locked central queue costs more; the SMPSs runtime pays for
+        // graph bookkeeping on every dispatch plus serial spawn-time
+        // analysis, but its §III locality lists recover cache reuse.
+        let mut cilk_cfg = MachineConfig::with_threads(p);
+        cilk_cfg.spawn_overhead_us = 0.0; // parents spawn their own children
+        cilk_cfg.dispatch_overhead_us = 0.1;
+        cilk_cfg.locality_factor = 1.0;
+        let cilk = seq_us / simulate(&fj_graph, &cilk_cfg).makespan_us;
+        let mut omp_cfg = cilk_cfg.clone();
+        omp_cfg.dispatch_overhead_us = 0.5;
+        omp_cfg.policy = SimPolicy::CentralQueue;
+        let omp = seq_us / simulate(&fj_graph, &omp_cfg).makespan_us;
+        let mut smpss_cfg = MachineConfig::with_threads(p);
+        smpss_cfg.spawn_overhead_us = 1.0;
+        let smpss = seq_us / simulate(&smpss_graph, &smpss_cfg).makespan_us;
+        table.row(p as f64, vec![cilk, omp, smpss]);
+    }
+    table.print();
+
+    if quick {
+        println!("(--quick: smoke run at reduced size; shape checks skipped)");
+        return;
+    }
+    let at = |p: usize| PAPER_THREADS.iter().position(|&x| x == p).unwrap();
+    let cilk = table.column("Cilk");
+    let omp = table.column("OMP3 tasks");
+    let smpss = table.column("SMPSs");
+    // All three scale similarly…
+    for (name, col) in [("Cilk", &cilk), ("OMP3", &omp), ("SMPSs", &smpss)] {
+        assert!(
+            col[at(32)] > 6.0,
+            "{name} must reach a substantial speedup at 32 threads (got {:.1})",
+            col[at(32)]
+        );
+    }
+    // …and close together: the paper's curves nearly overlap ("All three
+    // versions scale similarly, with SMPSs having slightly better
+    // performance"). The models here land within a few percent of each
+    // other; which one noses ahead depends on the overhead constants
+    // (EXPERIMENTS.md discusses the residual ordering).
+    let best = smpss[at(32)].max(cilk[at(32)]).max(omp[at(32)]);
+    assert!(
+        smpss[at(32)] >= best * 0.90 && cilk[at(32)] >= best * 0.90 && omp[at(32)] >= best * 0.90,
+        "paper: the three curves must stay close (smpss={:.1} cilk={:.1} omp={:.1})",
+        smpss[at(32)],
+        cilk[at(32)],
+        omp[at(32)]
+    );
+    assert!(
+        smpss[at(32)] >= cilk[at(32)] * 0.95,
+        "SMPSs must at least match Cilk"
+    );
+    println!("shape checks passed: all three scale similarly.");
+}

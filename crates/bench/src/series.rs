@@ -1,0 +1,118 @@
+//! Plain-text table output for the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A figure: one x column, several named series.
+pub struct Table {
+    pub title: String,
+    pub x_label: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl Table {
+    pub fn new(title: &str, x_label: &str, columns: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len());
+        self.rows.push((x, values));
+    }
+
+    /// Aligned human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let width = 22usize;
+        let _ = write!(out, "{:>10}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "{:>width$}", c, width = width);
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{:>10}", trim_float(*x));
+            for v in vals {
+                let _ = write!(out, "{:>width$}", format!("{v:.2}"), width = width);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Machine-readable CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{}", trim_float(*x));
+            for v in vals {
+                let _ = write!(out, ",{v:.4}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Print the table and, if `SMPSS_CSV` is set, also the CSV form.
+    pub fn print(&self) {
+        println!("{}", self.render());
+        if std::env::var_os("SMPSS_CSV").is_some() {
+            println!("{}", self.to_csv());
+        }
+    }
+
+    /// Values of a named column.
+    pub fn column(&self, name: &str) -> Vec<f64> {
+        let idx = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column {name:?}"));
+        self.rows.iter().map(|(_, v)| v[idx]).collect()
+    }
+}
+
+fn trim_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("Fig X", "threads", &["a", "b"]);
+        t.row(1.0, vec![1.5, 2.0]);
+        t.row(2.0, vec![3.0, 4.25]);
+        let r = t.render();
+        assert!(r.contains("# Fig X"));
+        assert!(r.contains("threads"));
+        assert!(r.contains("1.50"));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("threads,a,b\n"));
+        assert!(csv.contains("2,3.0000,4.2500"));
+        assert_eq!(t.column("b"), vec![2.0, 4.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn missing_column_panics() {
+        let t = Table::new("t", "x", &["a"]);
+        let _ = t.column("zzz");
+    }
+}

@@ -1,0 +1,218 @@
+//! Square f32 blocks — the `M x M`-element units of the paper's
+//! hyper-matrices (§IV: "1-level hyper-matrixes of N by N blocks, each of
+//! M by M elements").
+
+use std::fmt;
+
+/// A dense, row-major, square block of single-precision floats.
+#[derive(Clone, PartialEq)]
+pub struct Block {
+    m: usize,
+    data: Vec<f32>,
+}
+
+impl Block {
+    /// Zero-filled `m x m` block.
+    pub fn zeros(m: usize) -> Self {
+        assert!(m > 0, "block dimension must be positive");
+        Block {
+            m,
+            data: vec![0.0; m * m],
+        }
+    }
+
+    /// Identity block.
+    pub fn identity(m: usize) -> Self {
+        let mut b = Block::zeros(m);
+        for i in 0..m {
+            b.data[i * m + i] = 1.0;
+        }
+        b
+    }
+
+    /// Build from a function of (row, col).
+    pub fn from_fn(m: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut b = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                b.data[i * m + j] = f(i, j);
+            }
+        }
+        b
+    }
+
+    /// Wrap an existing row-major buffer (must have `m*m` elements).
+    pub fn from_vec(m: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), m * m, "buffer size must be m*m");
+        Block { m, data }
+    }
+
+    /// Block dimension `M`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.m + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.m + j] = v;
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.m..(i + 1) * self.m]
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Block {
+        Block::from_fn(self.m, |i, j| self.at(j, i))
+    }
+
+    /// Set everything to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Largest absolute element difference against another block.
+    pub fn max_abs_diff(&self, other: &Block) -> f32 {
+        assert_eq!(self.m, other.m);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Frobenius norm.
+    pub fn frob_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// A deterministic pseudo-random symmetric-positive-definite block
+    /// (used to build well-conditioned Cholesky inputs): `G·Gᵀ + m·I`.
+    pub fn random_spd(m: usize, seed: u64) -> Block {
+        let g = Block::random(m, seed);
+        let mut out = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                let mut s = 0.0f32;
+                for k in 0..m {
+                    s += g.at(i, k) * g.at(j, k);
+                }
+                out.set(i, j, s + if i == j { m as f32 } else { 0.0 });
+            }
+        }
+        out
+    }
+
+    /// A deterministic pseudo-random block in `[-0.5, 0.5)` (xorshift; no
+    /// external RNG dependency so the kernel crate stays standalone).
+    pub fn random(m: usize, seed: u64) -> Block {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        Block::from_fn(m, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Block {}x{} [", self.m, self.m)?;
+        for i in 0..self.m.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.m.min(8) {
+                write!(f, "{:>9.4} ", self.at(i, j))?;
+            }
+            writeln!(f, "{}", if self.m > 8 { "…" } else { "" })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut b = Block::zeros(3);
+        assert_eq!(b.dim(), 3);
+        b.set(1, 2, 7.0);
+        assert_eq!(b.at(1, 2), 7.0);
+        assert_eq!(b.row(1), &[0.0, 0.0, 7.0]);
+        let id = Block::identity(3);
+        assert_eq!(id.at(0, 0), 1.0);
+        assert_eq!(id.at(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_fn_and_transpose() {
+        let b = Block::from_fn(3, |i, j| (i * 10 + j) as f32);
+        let t = b.transposed();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.at(i, j), t.at(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn diff_and_norm() {
+        let a = Block::identity(4);
+        let mut b = Block::identity(4);
+        b.set(2, 3, 0.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert_eq!(Block::identity(4).frob_norm(), 2.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_bounded() {
+        let a = Block::random(8, 42);
+        let b = Block::random(8, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, Block::random(8, 43));
+        assert!(a.as_slice().iter().all(|v| (-0.5..0.5).contains(v)));
+    }
+
+    #[test]
+    fn spd_block_is_symmetric_with_heavy_diagonal() {
+        let s = Block::random_spd(6, 1);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((s.at(i, j) - s.at(j, i)).abs() < 1e-6);
+            }
+            assert!(s.at(i, i) >= 6.0 - 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m*m")]
+    fn from_vec_validates_size() {
+        let _ = Block::from_vec(2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,596 @@
+//! The level-3 kernels behind the paper's task bodies (Figure 2), in two
+//! implementations each — see [`crate::Vendor`] for the dispatch layer.
+//!
+//! Semantics follow the tiled algorithms of §IV:
+//!
+//! * [`gemm_add_ref`]/[`gemm_add_tuned`] — `C += A · B`            (matrix-multiply task, Fig. 1)
+//! * [`gemm_nt_sub_ref`]/[`gemm_nt_sub_tuned`] — `C -= A · Bᵀ`           (`sgemm_t` in the Cholesky of Fig. 4)
+//! * [`syrk_sub`]     — `C -= A · Aᵀ`           (`ssyrk_t`)
+//! * [`potrf`]        — in-place lower Cholesky (`spotrf_t`)
+//! * [`trsm_rlt`]     — `B ← B · L⁻ᵀ`           (`strsm_t`, right-solve with the
+//!   lower-triangular factor produced by `potrf`)
+//! * [`add`] / [`sub`] — block add/subtract     (Strassen, §VI.C)
+
+use crate::block::Block;
+
+/// `C += A · B` — reference (textbook i-j-k).
+pub fn gemm_add_ref(a: &Block, b: &Block, c: &mut Block) {
+    let m = check_dims(a, b, c);
+    for i in 0..m {
+        for j in 0..m {
+            let mut s = 0.0f32;
+            for k in 0..m {
+                s += a.at(i, k) * b.at(k, j);
+            }
+            *c.row_mut(i).get_mut(j).unwrap() += s;
+        }
+    }
+}
+
+/// `C += A · B` — tuned (i-k-j with a slice-driven inner loop; the
+/// multiply-accumulate over contiguous rows autovectorises).
+pub fn gemm_add_tuned(a: &Block, b: &Block, c: &mut Block) {
+    let m = check_dims(a, b, c);
+    for i in 0..m {
+        // Split borrows: rows of c and rows of b never alias (c != b is
+        // guaranteed by &mut), so index from raw slices.
+        for k in 0..m {
+            let aik = a.at(i, k);
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let crow = c.row_mut(i);
+            // Chunked by 8 to encourage vector codegen.
+            let mut j = 0;
+            while j + 8 <= m {
+                crow[j] += aik * brow[j];
+                crow[j + 1] += aik * brow[j + 1];
+                crow[j + 2] += aik * brow[j + 2];
+                crow[j + 3] += aik * brow[j + 3];
+                crow[j + 4] += aik * brow[j + 4];
+                crow[j + 5] += aik * brow[j + 5];
+                crow[j + 6] += aik * brow[j + 6];
+                crow[j + 7] += aik * brow[j + 7];
+                j += 8;
+            }
+            while j < m {
+                crow[j] += aik * brow[j];
+                j += 1;
+            }
+        }
+    }
+}
+
+/// `C -= A · Bᵀ` — reference.
+pub fn gemm_nt_sub_ref(a: &Block, b: &Block, c: &mut Block) {
+    let m = check_dims(a, b, c);
+    for i in 0..m {
+        for j in 0..m {
+            let mut s = 0.0f32;
+            for k in 0..m {
+                s += a.at(i, k) * b.at(j, k);
+            }
+            let v = c.at(i, j) - s;
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// `C -= A · Bᵀ` — tuned: the dot product runs over two contiguous rows.
+pub fn gemm_nt_sub_tuned(a: &Block, b: &Block, c: &mut Block) {
+    let m = check_dims(a, b, c);
+    for i in 0..m {
+        let arow = a.row(i).to_vec(); // detach to allow c.row_mut aliasing a==c? (blocks are distinct objects in the apps, but stay safe)
+        for j in 0..m {
+            let brow = b.row(j);
+            let mut s0 = 0.0f32;
+            let mut s1 = 0.0f32;
+            let mut s2 = 0.0f32;
+            let mut s3 = 0.0f32;
+            let mut k = 0;
+            while k + 4 <= m {
+                s0 += arow[k] * brow[k];
+                s1 += arow[k + 1] * brow[k + 1];
+                s2 += arow[k + 2] * brow[k + 2];
+                s3 += arow[k + 3] * brow[k + 3];
+                k += 4;
+            }
+            let mut s = s0 + s1 + s2 + s3;
+            while k < m {
+                s += arow[k] * brow[k];
+                k += 1;
+            }
+            let v = c.at(i, j) - s;
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// `C -= A · Aᵀ`, lower triangle only (BLAS `ssyrk` with `uplo = 'L'`):
+/// the strict upper triangle of `c` is left untouched, exactly like the
+/// library routine the paper's `ssyrk_t` wraps — this is what keeps the
+/// in-place Cholesky's unreferenced upper triangle intact (§VI.A).
+pub fn syrk_sub(a: &Block, c: &mut Block) {
+    let m = check_square(a, c);
+    for i in 0..m {
+        for j in 0..=i {
+            let mut s = 0.0f32;
+            for k in 0..m {
+                s += a.at(i, k) * a.at(j, k);
+            }
+            let v = c.at(i, j) - s;
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Tuned variant of [`syrk_sub`] (contiguous-row dot products).
+pub fn syrk_sub_tuned(a: &Block, c: &mut Block) {
+    let m = check_square(a, c);
+    for i in 0..m {
+        let arow_i = a.row(i).to_vec();
+        for j in 0..=i {
+            let arow_j = a.row(j);
+            let mut s0 = 0.0f32;
+            let mut s1 = 0.0f32;
+            let mut k = 0;
+            while k + 2 <= m {
+                s0 += arow_i[k] * arow_j[k];
+                s1 += arow_i[k + 1] * arow_j[k + 1];
+                k += 2;
+            }
+            let mut s = s0 + s1;
+            while k < m {
+                s += arow_i[k] * arow_j[k];
+                k += 1;
+            }
+            let v = c.at(i, j) - s;
+            c.set(i, j, v);
+        }
+    }
+}
+
+/// Error raised by [`potrf`] when a diagonal pivot is not positive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Index of the failing pivot.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite at pivot {}", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// In-place Cholesky factorisation of the lower triangle: on success the
+/// lower triangle (incl. diagonal) of `a` holds `L` with `L·Lᵀ = A`. The
+/// strict upper triangle is left untouched.
+pub fn potrf(a: &mut Block) -> Result<(), NotPositiveDefinite> {
+    let m = a.dim();
+    for j in 0..m {
+        let mut d = a.at(j, j);
+        for k in 0..j {
+            let v = a.at(j, k);
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let d = d.sqrt();
+        a.set(j, j, d);
+        for i in j + 1..m {
+            let mut s = a.at(i, j);
+            for k in 0..j {
+                s -= a.at(i, k) * a.at(j, k);
+            }
+            a.set(i, j, s / d);
+        }
+    }
+    Ok(())
+}
+
+/// `B ← B · L⁻ᵀ` where `l`'s lower triangle is the Cholesky factor of the
+/// diagonal block: the `strsm_t` of Figure 2/4.
+pub fn trsm_rlt(l: &Block, b: &mut Block) {
+    let m = check_square(l, b);
+    for r in 0..m {
+        for j in 0..m {
+            let mut s = b.at(r, j);
+            for k in 0..j {
+                s -= b.at(r, k) * l.at(j, k);
+            }
+            b.set(r, j, s / l.at(j, j));
+        }
+    }
+}
+
+/// `C -= A · B` (the trailing update of the blocked LU).
+pub fn gemm_nn_sub(a: &Block, b: &Block, c: &mut Block) {
+    let m = check_dims(a, b, c);
+    for i in 0..m {
+        for k in 0..m {
+            let aik = a.at(i, k);
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let crow = c.row_mut(i);
+            for j in 0..m {
+                crow[j] -= aik * brow[j];
+            }
+        }
+    }
+}
+
+/// In-place LU factorisation without pivoting: on success `a` holds the
+/// unit-lower factor `L` (implicit unit diagonal) below the diagonal and
+/// `U` on/above it (`sgetrf` without the pivot vector — the paper notes
+/// pivoting is what makes LU hard to block, §V, so the blocked variant
+/// omits it).
+pub fn getrf_nopiv(a: &mut Block) -> Result<(), NotPositiveDefinite> {
+    let m = a.dim();
+    for k in 0..m {
+        let pivot = a.at(k, k);
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(NotPositiveDefinite { pivot: k });
+        }
+        for i in k + 1..m {
+            let l = a.at(i, k) / pivot;
+            a.set(i, k, l);
+            for j in k + 1..m {
+                let v = a.at(i, j) - l * a.at(k, j);
+                a.set(i, j, v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `B ← L⁻¹ · B` where `lu`'s strict lower triangle is the unit-lower
+/// factor from [`getrf_nopiv`] (left solve; updates the row panel).
+pub fn trsm_llu(lu: &Block, b: &mut Block) {
+    let m = check_square(lu, b);
+    for j in 0..m {
+        for i in 0..m {
+            let mut s = b.at(i, j);
+            for k in 0..i {
+                s -= lu.at(i, k) * b.at(k, j);
+            }
+            b.set(i, j, s); // unit diagonal: no division
+        }
+    }
+}
+
+/// `B ← B · U⁻¹` where `lu`'s upper triangle (incl. diagonal) is the
+/// factor from [`getrf_nopiv`] (right solve; updates the column panel).
+pub fn trsm_ru(lu: &Block, b: &mut Block) {
+    let m = check_square(lu, b);
+    for i in 0..m {
+        for j in 0..m {
+            let mut s = b.at(i, j);
+            for k in 0..j {
+                s -= b.at(i, k) * lu.at(k, j);
+            }
+            b.set(i, j, s / lu.at(j, j));
+        }
+    }
+}
+
+/// `C = A + B` (Strassen).
+pub fn add(a: &Block, b: &Block, c: &mut Block) {
+    let _ = check_dims(a, b, c);
+    for ((cv, av), bv) in c
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *cv = av + bv;
+    }
+}
+
+/// `C = A - B` (Strassen).
+pub fn sub(a: &Block, b: &Block, c: &mut Block) {
+    let _ = check_dims(a, b, c);
+    for ((cv, av), bv) in c
+        .as_mut_slice()
+        .iter_mut()
+        .zip(a.as_slice())
+        .zip(b.as_slice())
+    {
+        *cv = av - bv;
+    }
+}
+
+/// `C += A` (Strassen recombination).
+pub fn acc(a: &Block, c: &mut Block) {
+    assert_eq!(a.dim(), c.dim());
+    for (cv, av) in c.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *cv += av;
+    }
+}
+
+/// `C -= A` (Strassen recombination).
+pub fn acc_sub(a: &Block, c: &mut Block) {
+    assert_eq!(a.dim(), c.dim());
+    for (cv, av) in c.as_mut_slice().iter_mut().zip(a.as_slice()) {
+        *cv -= av;
+    }
+}
+
+fn check_dims(a: &Block, b: &Block, c: &Block) -> usize {
+    let m = a.dim();
+    assert_eq!(b.dim(), m, "block dimensions must agree");
+    assert_eq!(c.dim(), m, "block dimensions must agree");
+    m
+}
+
+fn check_square(a: &Block, b: &Block) -> usize {
+    let m = a.dim();
+    assert_eq!(b.dim(), m, "block dimensions must agree");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-3;
+
+    #[test]
+    fn gemm_identity() {
+        let a = Block::random(8, 1);
+        let id = Block::identity(8);
+        let mut c = Block::zeros(8);
+        gemm_add_ref(&a, &id, &mut c);
+        assert!(a.max_abs_diff(&c) < EPS);
+        let mut c2 = Block::zeros(8);
+        gemm_add_tuned(&a, &id, &mut c2);
+        assert!(a.max_abs_diff(&c2) < EPS);
+    }
+
+    #[test]
+    fn tuned_matches_reference_gemm() {
+        for m in [1, 2, 3, 7, 8, 16, 33] {
+            let a = Block::random(m, 10 + m as u64);
+            let b = Block::random(m, 20 + m as u64);
+            let mut c1 = Block::random(m, 30 + m as u64);
+            let mut c2 = c1.clone();
+            gemm_add_ref(&a, &b, &mut c1);
+            gemm_add_tuned(&a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < EPS, "m={m}");
+        }
+    }
+
+    #[test]
+    fn tuned_matches_reference_gemm_nt() {
+        for m in [1, 5, 8, 17] {
+            let a = Block::random(m, 1);
+            let b = Block::random(m, 2);
+            let mut c1 = Block::random(m, 3);
+            let mut c2 = c1.clone();
+            gemm_nt_sub_ref(&a, &b, &mut c1);
+            gemm_nt_sub_tuned(&a, &b, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < EPS, "m={m}");
+        }
+    }
+
+    #[test]
+    fn gemm_accumulates() {
+        let a = Block::identity(4);
+        let b = Block::from_fn(4, |i, j| (i + j) as f32);
+        let mut c = Block::from_fn(4, |_, _| 1.0);
+        gemm_add_ref(&a, &b, &mut c);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.at(i, j), 1.0 + (i + j) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_recovers_factor() {
+        let m = 12;
+        let spd = Block::random_spd(m, 7);
+        let mut l = spd.clone();
+        potrf(&mut l).unwrap();
+        // Rebuild A from the lower triangle and compare.
+        let mut rebuilt = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    s += l.at(i, k) * l.at(j, k);
+                }
+                rebuilt.set(i, j, s);
+            }
+        }
+        let scale = spd.frob_norm().max(1.0);
+        assert!(
+            spd.max_abs_diff(&rebuilt) / scale < 1e-4,
+            "relative reconstruction error too large"
+        );
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = Block::identity(3);
+        a.set(2, 2, -1.0);
+        assert_eq!(potrf(&mut a), Err(NotPositiveDefinite { pivot: 2 }));
+    }
+
+    #[test]
+    fn trsm_inverts_factor_application() {
+        // If B = X · Lᵀ then trsm_rlt(L, B) must recover X.
+        let m = 10;
+        let spd = Block::random_spd(m, 3);
+        let mut l = spd.clone();
+        potrf(&mut l).unwrap();
+        // Zero out the upper triangle to get a clean L.
+        let mut lclean = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..=i {
+                lclean.set(i, j, l.at(i, j));
+            }
+        }
+        let x = Block::random(m, 9);
+        let mut b = Block::zeros(m);
+        gemm_add_ref(&x, &lclean.transposed(), &mut b);
+        trsm_rlt(&lclean, &mut b);
+        assert!(x.max_abs_diff(&b) < 1e-2);
+    }
+
+    #[test]
+    fn syrk_equals_gemm_nt_on_lower_triangle() {
+        let a = Block::random(9, 4);
+        let orig = Block::random(9, 5);
+        let mut c1 = orig.clone();
+        let mut c2 = orig.clone();
+        syrk_sub(&a, &mut c1);
+        gemm_nt_sub_ref(&a, &a, &mut c2);
+        for i in 0..9 {
+            for j in 0..9 {
+                if j <= i {
+                    assert!((c1.at(i, j) - c2.at(i, j)).abs() < EPS);
+                } else {
+                    assert_eq!(c1.at(i, j), orig.at(i, j), "upper must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_tuned_matches_reference() {
+        for m in [1, 3, 8, 13] {
+            let a = Block::random(m, 6);
+            let mut c1 = Block::random(m, 7);
+            let mut c2 = c1.clone();
+            syrk_sub(&a, &mut c1);
+            syrk_sub_tuned(&a, &mut c2);
+            assert!(c1.max_abs_diff(&c2) < EPS, "m={m}");
+        }
+    }
+
+    #[test]
+    fn add_sub_acc_roundtrip() {
+        let a = Block::random(6, 1);
+        let b = Block::random(6, 2);
+        let mut s = Block::zeros(6);
+        add(&a, &b, &mut s);
+        let mut d = Block::zeros(6);
+        sub(&s, &b, &mut d);
+        assert!(a.max_abs_diff(&d) < EPS);
+        let mut acc_t = a.clone();
+        acc(&b, &mut acc_t);
+        assert!(acc_t.max_abs_diff(&s) < EPS);
+        acc_sub(&b, &mut acc_t);
+        assert!(acc_t.max_abs_diff(&a) < EPS);
+    }
+
+    #[test]
+    fn getrf_and_solves_roundtrip() {
+        // A = L·U rebuilt from the in-place factors must match.
+        let m = 10;
+        let mut a = Block::random(m, 13);
+        for i in 0..m {
+            a.set(i, i, a.at(i, i) + m as f32); // diagonally dominant
+        }
+        let orig = a.clone();
+        getrf_nopiv(&mut a).unwrap();
+        let mut rebuilt = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                let mut s = 0.0;
+                for k in 0..=i.min(j) {
+                    let l = if k == i { 1.0 } else { a.at(i, k) };
+                    s += l * a.at(k, j) * if k <= j { 1.0 } else { 0.0 };
+                }
+                rebuilt.set(i, j, s);
+            }
+        }
+        assert!(orig.max_abs_diff(&rebuilt) / orig.frob_norm() < 1e-3);
+    }
+
+    #[test]
+    fn getrf_rejects_zero_pivot() {
+        let mut a = Block::zeros(3);
+        assert!(getrf_nopiv(&mut a).is_err());
+    }
+
+    #[test]
+    fn trsm_llu_inverts_left_application() {
+        // If C = L·X then trsm_llu(L, C) recovers X.
+        let m = 8;
+        let mut lu = Block::random(m, 17);
+        for i in 0..m {
+            lu.set(i, i, lu.at(i, i) + m as f32);
+        }
+        getrf_nopiv(&mut lu).unwrap();
+        let x = Block::random(m, 18);
+        // Build L·X with implicit unit diagonal.
+        let mut c = x.clone();
+        for i in (0..m).rev() {
+            for j in 0..m {
+                let mut s = x.at(i, j);
+                for k in 0..i {
+                    s += lu.at(i, k) * x.at(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        trsm_llu(&lu, &mut c);
+        assert!(x.max_abs_diff(&c) < 1e-2);
+    }
+
+    #[test]
+    fn trsm_ru_inverts_right_application() {
+        // If C = X·U then trsm_ru(LU, C) recovers X.
+        let m = 8;
+        let mut lu = Block::random(m, 19);
+        for i in 0..m {
+            lu.set(i, i, lu.at(i, i) + m as f32);
+        }
+        getrf_nopiv(&mut lu).unwrap();
+        let x = Block::random(m, 20);
+        let mut c = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..m {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += x.at(i, k) * lu.at(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        trsm_ru(&lu, &mut c);
+        assert!(x.max_abs_diff(&c) < 1e-2);
+    }
+
+    #[test]
+    fn gemm_nn_sub_is_negated_add() {
+        let a = Block::random(7, 21);
+        let b = Block::random(7, 22);
+        let mut c1 = Block::random(7, 23);
+        let mut c2 = c1.clone();
+        gemm_nn_sub(&a, &b, &mut c1);
+        let mut prod = Block::zeros(7);
+        gemm_add_ref(&a, &b, &mut prod);
+        for (v, p) in c2.as_mut_slice().iter_mut().zip(prod.as_slice()) {
+            *v -= p;
+        }
+        assert!(c1.max_abs_diff(&c2) < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must agree")]
+    fn dimension_mismatch_panics() {
+        let a = Block::zeros(2);
+        let b = Block::zeros(3);
+        let mut c = Block::zeros(2);
+        gemm_add_ref(&a, &b, &mut c);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the kernel substrate.
+
+use proptest::prelude::*;
+use smpss_blas::{kernels, Block, Vendor};
+
+fn random_block(m: usize, seed: u64) -> Block {
+    Block::random(m, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The two vendors are numerically interchangeable.
+    #[test]
+    fn vendors_agree_on_gemm(m in 1usize..24, s1 in 1u64..1000, s2 in 1u64..1000) {
+        let a = random_block(m, s1);
+        let b = random_block(m, s2);
+        let mut c1 = random_block(m, s1 ^ s2);
+        let mut c2 = c1.clone();
+        Vendor::Tuned.gemm_add(&a, &b, &mut c1);
+        Vendor::Reference.gemm_add(&a, &b, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-3 * m as f32);
+    }
+
+    #[test]
+    fn vendors_agree_on_gemm_nt(m in 1usize..20, s in 1u64..1000) {
+        let a = random_block(m, s);
+        let b = random_block(m, s + 1);
+        let mut c1 = random_block(m, s + 2);
+        let mut c2 = c1.clone();
+        Vendor::Tuned.gemm_nt_sub(&a, &b, &mut c1);
+        Vendor::Reference.gemm_nt_sub(&a, &b, &mut c2);
+        prop_assert!(c1.max_abs_diff(&c2) < 1e-3 * m as f32);
+    }
+
+    /// potrf on an SPD block reconstructs it: L·Lᵀ ≈ A (lower triangle).
+    #[test]
+    fn potrf_reconstructs(m in 1usize..20, s in 1u64..500) {
+        let a = Block::random_spd(m, s);
+        let mut l = a.clone();
+        prop_assert!(kernels::potrf(&mut l).is_ok());
+        let mut worst = 0.0f32;
+        for i in 0..m {
+            for j in 0..=i {
+                let mut rebuilt = 0.0f32;
+                for k in 0..=j {
+                    rebuilt += l.at(i, k) * l.at(j, k);
+                }
+                worst = worst.max((rebuilt - a.at(i, j)).abs());
+            }
+        }
+        prop_assert!(worst / a.frob_norm().max(1.0) < 1e-3);
+    }
+
+    /// trsm_rlt really applies L⁻ᵀ: (B·Lᵀ) then trsm gives back B.
+    #[test]
+    fn trsm_inverts(m in 1usize..16, s in 1u64..500) {
+        let spd = Block::random_spd(m, s);
+        let mut l = spd.clone();
+        prop_assert!(kernels::potrf(&mut l).is_ok());
+        let mut lclean = Block::zeros(m);
+        for i in 0..m {
+            for j in 0..=i {
+                lclean.set(i, j, l.at(i, j));
+            }
+        }
+        let x = random_block(m, s + 7);
+        let mut b = Block::zeros(m);
+        kernels::gemm_add_ref(&x, &lclean.transposed(), &mut b);
+        kernels::trsm_rlt(&lclean, &mut b);
+        prop_assert!(x.max_abs_diff(&b) < 0.05);
+    }
+
+    /// A full tiled-Cholesky *step* preserves the mathematical identity:
+    /// syrk followed by potrf equals potrf of the updated block.
+    #[test]
+    fn cholesky_step_identity(m in 2usize..12, s in 1u64..200) {
+        // c - a·aᵀ must stay SPD: build c = spd + a·aᵀ first.
+        let a = random_block(m, s);
+        let spd = Block::random_spd(m, s + 1);
+        let mut c = spd.clone();
+        // c += a·aᵀ on the lower triangle.
+        for i in 0..m {
+            for j in 0..=i {
+                let mut acc = c.at(i, j);
+                for k in 0..m {
+                    acc += a.at(i, k) * a.at(j, k);
+                }
+                c.set(i, j, acc);
+            }
+        }
+        kernels::syrk_sub(&a, &mut c);
+        prop_assert!(c.max_abs_diff(&spd) < 0.25 * m as f32, "syrk undoes the add");
+        prop_assert!(kernels::potrf(&mut c).is_ok());
+    }
+
+    /// LU without pivoting reconstructs diagonally-dominant blocks.
+    #[test]
+    fn getrf_reconstructs(m in 1usize..14, s in 1u64..300) {
+        let mut a = random_block(m, s);
+        for i in 0..m {
+            a.set(i, i, a.at(i, i) + m as f32 + 1.0);
+        }
+        let orig = a.clone();
+        prop_assert!(kernels::getrf_nopiv(&mut a).is_ok());
+        let mut worst = 0.0f32;
+        for i in 0..m {
+            for j in 0..m {
+                let mut rebuilt = 0.0f32;
+                for k in 0..=i.min(j) {
+                    let lv = if k == i { 1.0 } else { a.at(i, k) };
+                    rebuilt += lv * a.at(k, j);
+                }
+                worst = worst.max((rebuilt - orig.at(i, j)).abs());
+            }
+        }
+        prop_assert!(worst / orig.frob_norm().max(1.0) < 1e-3);
+    }
+
+    /// add/sub/acc/acc_sub satisfy ring identities.
+    #[test]
+    fn elementwise_identities(m in 1usize..16, s in 1u64..500) {
+        let a = random_block(m, s);
+        let b = random_block(m, s + 1);
+        let mut apb = Block::zeros(m);
+        kernels::add(&a, &b, &mut apb);
+        let mut back = Block::zeros(m);
+        kernels::sub(&apb, &b, &mut back);
+        prop_assert!(back.max_abs_diff(&a) < 1e-4);
+        let mut acc = a.clone();
+        kernels::acc(&b, &mut acc);
+        prop_assert!(acc.max_abs_diff(&apb) < 1e-4);
+        kernels::acc_sub(&b, &mut acc);
+        prop_assert!(acc.max_abs_diff(&a) < 1e-4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Runtime configuration.
+//!
+//! The knobs here correspond to behaviours described in the paper:
+//! number of threads (main + workers), renaming on/off (on in SMPSs; the
+//! off position reproduces the SuperMatrix-style analysis of §VII.C for
+//! ablation), the graph-size blocking condition of §III, graph recording
+//! (used to regenerate Figure 5) and the tracing runtime of §VII.C.
+
+/// How idle threads look for work. [`SchedulerPolicy::Smpss`] is the policy
+/// of §III of the paper; the alternatives exist for the ablation benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// High-priority list, then own list (LIFO), then main list (FIFO), then
+    /// steal from other threads in creation order (FIFO). The paper's policy.
+    Smpss,
+    /// A single central FIFO queue shared by all threads, as in SuperMatrix
+    /// (§VII.C). Tasks that become ready go to the central queue instead of
+    /// the finishing thread's own list.
+    CentralQueue,
+}
+
+/// Complete, validated runtime configuration. Build one with
+/// [`Runtime::builder`](crate::Runtime::builder).
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    pub(crate) threads: usize,
+    pub(crate) renaming: bool,
+    pub(crate) graph_size_limit: Option<usize>,
+    pub(crate) memory_limit: Option<usize>,
+    pub(crate) record_graph: bool,
+    pub(crate) tracing: bool,
+    pub(crate) policy: SchedulerPolicy,
+    pub(crate) spin_tries: usize,
+    pub(crate) park_micros: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            threads: 1,
+            renaming: true,
+            graph_size_limit: None,
+            memory_limit: None,
+            record_graph: false,
+            tracing: false,
+            policy: SchedulerPolicy::Smpss,
+            spin_tries: 64,
+            park_micros: 100,
+        }
+    }
+}
+
+/// Builder for a [`Runtime`](crate::Runtime).
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeBuilder {
+    cfg: RuntimeConfig,
+}
+
+impl RuntimeBuilder {
+    /// Total number of compute threads (main thread included). The runtime
+    /// "creates as many worker threads as necessary to fill out the rest of
+    /// the cores" — i.e. `threads - 1` workers. Must be at least 1.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a runtime needs at least the main thread");
+        self.cfg.threads = n;
+        self
+    }
+
+    /// Enable or disable renaming (default: enabled, as in SMPSs). With
+    /// renaming disabled the analyser inserts anti- and output-dependency
+    /// edges instead of allocating fresh versions; this reproduces a
+    /// SuperMatrix-style dependence analysis for the ablation study.
+    pub fn renaming(mut self, on: bool) -> Self {
+        self.cfg.renaming = on;
+        self
+    }
+
+    /// Blocking condition of §III: when more than `limit` tasks are live
+    /// (spawned but unfinished), the main thread "behaves as a worker thread
+    /// until an unblocking condition is reached".
+    pub fn graph_size_limit(mut self, limit: usize) -> Self {
+        self.cfg.graph_size_limit = Some(limit);
+        self
+    }
+
+    /// The other §III blocking condition: "a memory limit". When the
+    /// bytes held by live data versions (initial buffers plus renamed
+    /// copies — the storage renaming trades for parallelism) exceed
+    /// `bytes`, the spawning path blocks and the main thread helps until
+    /// versions retire.
+    pub fn memory_limit(mut self, bytes: usize) -> Self {
+        self.cfg.memory_limit = Some(bytes);
+        self
+    }
+
+    /// Record the full task graph (nodes + true-dependency edges) for
+    /// inspection and DOT export. Needed by [`Runtime::graph`](crate::Runtime::graph).
+    pub fn record_graph(mut self, on: bool) -> Self {
+        self.cfg.record_graph = on;
+        self
+    }
+
+    /// Enable the tracing runtime: per-thread event capture for post-mortem
+    /// analysis (the paper's Paraver-instrumented runtime flavour).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.tracing = on;
+        self
+    }
+
+    /// Scheduler policy (default [`SchedulerPolicy::Smpss`]).
+    pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    /// How many failed full scans an idle worker performs before parking.
+    pub fn spin_tries(mut self, tries: usize) -> Self {
+        self.cfg.spin_tries = tries.max(1);
+        self
+    }
+
+    /// Park timeout for idle workers, in microseconds.
+    pub fn park_micros(mut self, us: u64) -> Self {
+        self.cfg.park_micros = us.max(1);
+        self
+    }
+
+    /// Finish configuration and start the runtime (spawns the workers).
+    pub fn build(self) -> crate::Runtime {
+        crate::Runtime::with_config(self.cfg)
+    }
+
+    /// Access the raw configuration without starting a runtime.
+    pub fn config(self) -> RuntimeConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.threads, 1);
+        assert!(c.renaming);
+        assert!(c.graph_size_limit.is_none());
+        assert!(!c.record_graph);
+        assert!(!c.tracing);
+        assert_eq!(c.policy, SchedulerPolicy::Smpss);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = RuntimeBuilder::default()
+            .threads(4)
+            .renaming(false)
+            .graph_size_limit(100)
+            .record_graph(true)
+            .tracing(true)
+            .policy(SchedulerPolicy::CentralQueue)
+            .config();
+        assert_eq!(c.threads, 4);
+        assert!(!c.renaming);
+        assert_eq!(c.graph_size_limit, Some(100));
+        assert!(c.record_graph);
+        assert!(c.tracing);
+        assert_eq!(c.policy, SchedulerPolicy::CentralQueue);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the main thread")]
+    fn zero_threads_rejected() {
+        let _ = RuntimeBuilder::default().threads(0);
+    }
+}

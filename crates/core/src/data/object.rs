@@ -1,0 +1,162 @@
+//! Whole-object data handles and their version state.
+//!
+//! A [`Handle<T>`] names one logical datum — in the paper, one task
+//! parameter address, e.g. one hyper-matrix block. The object's state holds
+//! the *current version* (buffer + producer task + pending-reader count);
+//! the dependency analyser in [`crate::dep`] consults and rewrites this
+//! state at every task invocation.
+
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use super::version::VBuf;
+use super::TaskData;
+use crate::graph::node::TaskNode;
+use crate::ids::ObjectId;
+
+/// The current version of an object.
+pub(crate) struct CurrentVersion<T> {
+    pub(crate) buf: Arc<VBuf<T>>,
+    /// Last task that writes this version (None: settled initial data).
+    /// Retained after completion so graph recording sees structural edges.
+    pub(crate) producer: Option<Arc<TaskNode>>,
+    /// Spawned-but-unfinished readers of this version. Drives the renaming
+    /// decision for `inout`: a live reader forces a fresh version + copy-in.
+    pub(crate) pending_readers: Arc<AtomicUsize>,
+}
+
+/// Mutable object state, guarded by the object mutex. Only the spawning
+/// thread rewrites it (dependency analysis is performed on the main thread,
+/// §III), but readers' pending counts are decremented from worker threads.
+pub(crate) struct ObjState<T> {
+    pub(crate) current: CurrentVersion<T>,
+    /// Unfinished readers of the current version — only maintained when
+    /// renaming is disabled, to generate anti-dependency edges instead.
+    pub(crate) readers_list: Vec<Arc<TaskNode>>,
+}
+
+pub(crate) struct DataObject<T: TaskData> {
+    pub(crate) id: ObjectId,
+    /// Allocates a fresh, correctly-shaped buffer for renaming.
+    pub(crate) alloc: Box<dyn Fn() -> T + Send + Sync>,
+    /// Bytes one version of this object occupies (for the §III memory
+    /// limit; a declared figure like the paper's dimension specifiers).
+    pub(crate) version_bytes: usize,
+    /// Runtime-wide live-version byte counter.
+    pub(crate) acct: Arc<AtomicUsize>,
+    pub(crate) state: Mutex<ObjState<T>>,
+}
+
+impl<T: TaskData> DataObject<T> {
+    pub(crate) fn new(
+        id: ObjectId,
+        value: T,
+        alloc: Box<dyn Fn() -> T + Send + Sync>,
+        version_bytes: usize,
+        acct: Arc<AtomicUsize>,
+    ) -> Self {
+        let ticket = crate::data::version::MemTicket::new(version_bytes, Arc::clone(&acct));
+        DataObject {
+            id,
+            alloc,
+            version_bytes,
+            acct,
+            state: Mutex::new(ObjState {
+                current: CurrentVersion {
+                    buf: Arc::new(VBuf::with_ticket(value, ticket)),
+                    producer: None,
+                    pending_readers: Arc::new(AtomicUsize::new(0)),
+                },
+                readers_list: Vec::new(),
+            }),
+        }
+    }
+
+    /// A fresh version buffer for the renamer, with its memory ticket.
+    pub(crate) fn fresh_version_buf(&self) -> Arc<VBuf<T>> {
+        let ticket =
+            crate::data::version::MemTicket::new(self.version_bytes, Arc::clone(&self.acct));
+        Arc::new(VBuf::with_ticket((self.alloc)(), ticket))
+    }
+}
+
+/// Handle to a runtime-managed, versioned data object.
+///
+/// Cloning a handle clones the *name*, not the data: both handles refer to
+/// the same logical object, exactly like two copies of the same pointer in
+/// the paper's C programs. Create handles with
+/// [`Runtime::data`](crate::Runtime::data).
+pub struct Handle<T: TaskData> {
+    pub(crate) obj: Arc<DataObject<T>>,
+}
+
+impl<T: TaskData> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        Handle {
+            obj: Arc::clone(&self.obj),
+        }
+    }
+}
+
+impl<T: TaskData> Handle<T> {
+    /// Stable identifier of the logical object.
+    pub fn id(&self) -> ObjectId {
+        self.obj.id
+    }
+
+    /// Do these handles name the same logical object?
+    pub fn same_object(&self, other: &Handle<T>) -> bool {
+        Arc::ptr_eq(&self.obj, &other.obj)
+    }
+}
+
+impl<T: TaskData> std::fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle({:?})", self.obj.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(v: i32) -> DataObject<i32> {
+        DataObject::new(
+            ObjectId(1),
+            v,
+            Box::new(|| 0),
+            4,
+            Arc::new(AtomicUsize::new(0)),
+        )
+    }
+
+    #[test]
+    fn fresh_object_is_settled() {
+        let o = obj(5);
+        let st = o.state.lock();
+        assert!(st.current.producer.is_none());
+        assert_eq!(
+            st.current
+                .pending_readers
+                .load(std::sync::atomic::Ordering::SeqCst),
+            0
+        );
+        unsafe { assert_eq!(*st.current.buf.peek(), 5) };
+    }
+
+    #[test]
+    fn handle_identity() {
+        let h = Handle {
+            obj: Arc::new(obj(1)),
+        };
+        let h2 = h.clone();
+        assert!(h.same_object(&h2));
+        assert_eq!(h.id(), h2.id());
+        let other = Handle {
+            obj: Arc::new(obj(1)),
+        };
+        assert!(!h.same_object(&other));
+    }
+}

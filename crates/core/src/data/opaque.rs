@@ -1,0 +1,120 @@
+//! Opaque pointers (§II of the paper).
+//!
+//! > "This behavior is applied to all parameters except those of type
+//! > `void *`. We call them *opaque pointers* since they pass through the
+//! > runtime unaltered and are not considered in the task dependency
+//! > analysis."
+//!
+//! An [`Opaque<T>`] is the Rust spelling of that escape hatch: shared,
+//! untracked storage that tasks may access without any dependency edges.
+//! It is the building block of the representant pattern (§V.B) and of the
+//! flat-matrix codes of Figures 9–10, where the flat matrix `Aflat` is
+//! always passed as an opaque pointer while `get_block`/`put_block` tasks
+//! are ordered through other parameters.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+struct OpaqueBox<T> {
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: all access goes through `unsafe` methods whose contracts push the
+// synchronisation obligation to the caller — exactly the semantics of a
+// `void *` parameter in the paper.
+unsafe impl<T: Send> Sync for OpaqueBox<T> {}
+unsafe impl<T: Send> Send for OpaqueBox<T> {}
+
+/// Untracked shared data. Cloning clones the pointer, not the payload.
+pub struct Opaque<T: Send + 'static> {
+    inner: Arc<OpaqueBox<T>>,
+}
+
+impl<T: Send + 'static> Clone for Opaque<T> {
+    fn clone(&self) -> Self {
+        Opaque {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + 'static> Opaque<T> {
+    pub fn new(value: T) -> Self {
+        Opaque {
+            inner: Arc::new(OpaqueBox {
+                cell: UnsafeCell::new(value),
+            }),
+        }
+    }
+
+    /// Raw pointer to the payload.
+    ///
+    /// # Safety
+    /// The caller must guarantee that all concurrent accesses are
+    /// synchronised externally — the runtime performs **no** dependency
+    /// analysis on opaque data (that is the point). The usual pattern is to
+    /// order the accessing tasks through representants or other tracked
+    /// parameters.
+    pub unsafe fn get(&self) -> *mut T {
+        self.inner.cell.get()
+    }
+
+    /// Run `f` with shared access to the payload.
+    ///
+    /// # Safety
+    /// No concurrent task may mutate the payload during the call.
+    pub unsafe fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&*self.inner.cell.get())
+    }
+
+    /// Run `f` with exclusive access to the payload.
+    ///
+    /// # Safety
+    /// No other access (read or write) may happen concurrently.
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut *self.inner.cell.get())
+    }
+
+    /// Recover the payload if this is the last pointer.
+    pub fn try_unwrap(self) -> Result<T, Opaque<T>> {
+        Arc::try_unwrap(self.inner)
+            .map(|b| b.cell.into_inner())
+            .map_err(|inner| Opaque { inner })
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for Opaque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Opaque({:p})", self.inner.cell.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_untracked_access() {
+        let o = Opaque::new(vec![1, 2, 3]);
+        let o2 = o.clone();
+        unsafe {
+            o.with_mut(|v| v.push(4));
+            assert_eq!(o2.with(|v| v.len()), 4);
+        }
+    }
+
+    #[test]
+    fn unwrap_last_pointer() {
+        let o = Opaque::new(5i32);
+        let o2 = o.clone();
+        let back = o.try_unwrap().unwrap_err(); // o2 still alive
+        drop(o2);
+        assert_eq!(back.try_unwrap().unwrap(), 5);
+    }
+
+    #[test]
+    fn debug_prints_address() {
+        let o = Opaque::new(0u8);
+        assert!(format!("{o:?}").starts_with("Opaque(0x"));
+    }
+}

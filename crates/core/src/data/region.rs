@@ -1,0 +1,285 @@
+//! N-dimensional array regions (§V.A of the paper).
+//!
+//! > "Given an N-dimensional array A with dimensions d1..dN, we define an
+//! > array region R from A as a list of pairs {p1..pN} such that each pair
+//! > pj = (lj, uj) specifies a lower bound lj and an upper bound uj on the
+//! > corresponding dimension j" — bounds are **inclusive**.
+//!
+//! The paper's three specifier forms map to [`RegionBound`] constructors:
+//!
+//! | paper    | meaning              | Rust                                   |
+//! |----------|----------------------|----------------------------------------|
+//! | `{l..u}` | bounds, inclusive    | `(l..=u).into()`                       |
+//! | `{l:L}`  | lower bound + length | `RegionBound::at(l, len)`              |
+//! | `{}`     | whole dimension      | `(..).into()` / `RegionBound::full()`  |
+//!
+//! `l..u` (exclusive upper) Rust ranges are also accepted for convenience.
+
+use std::fmt;
+use std::ops::{Range, RangeFull, RangeInclusive};
+
+/// Bounds for one dimension of a region. Inclusive on both ends; `Full`
+/// means the whole dimension (the paper's empty specifier `{}`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegionBound {
+    /// `lower..=upper`, inclusive.
+    Bounds(usize, usize),
+    /// The entire dimension.
+    Full,
+}
+
+impl RegionBound {
+    /// The paper's `{l:L}` form: lower bound and length.
+    pub fn at(lower: usize, len: usize) -> Self {
+        assert!(len > 0, "region length must be positive");
+        RegionBound::Bounds(lower, lower + len - 1)
+    }
+
+    /// The paper's `{}` form.
+    pub fn full() -> Self {
+        RegionBound::Full
+    }
+
+    /// Do two bounds share at least one index?
+    pub fn overlaps(self, other: RegionBound) -> bool {
+        match (self, other) {
+            (RegionBound::Full, _) | (_, RegionBound::Full) => true,
+            (RegionBound::Bounds(l1, u1), RegionBound::Bounds(l2, u2)) => l1 <= u2 && l2 <= u1,
+        }
+    }
+
+    /// Is `other` fully inside `self`?
+    pub fn contains(self, other: RegionBound) -> bool {
+        match (self, other) {
+            (RegionBound::Full, _) => true,
+            (RegionBound::Bounds(..), RegionBound::Full) => false,
+            (RegionBound::Bounds(l1, u1), RegionBound::Bounds(l2, u2)) => l1 <= l2 && u2 <= u1,
+        }
+    }
+
+    /// Number of indices, if bounded.
+    pub fn len(self) -> Option<usize> {
+        match self {
+            RegionBound::Full => None,
+            RegionBound::Bounds(l, u) => Some(u - l + 1),
+        }
+    }
+
+    pub fn is_empty(self) -> bool {
+        false // bounds are validated non-empty on construction
+    }
+}
+
+impl From<RangeInclusive<usize>> for RegionBound {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty region bound {r:?}");
+        RegionBound::Bounds(*r.start(), *r.end())
+    }
+}
+
+impl From<Range<usize>> for RegionBound {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty region bound {r:?}");
+        RegionBound::Bounds(r.start, r.end - 1)
+    }
+}
+
+impl From<RangeFull> for RegionBound {
+    fn from(_: RangeFull) -> Self {
+        RegionBound::Full
+    }
+}
+
+impl fmt::Display for RegionBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionBound::Bounds(l, u) => write!(f, "{{{l}..{u}}}"),
+            RegionBound::Full => write!(f, "{{}}"),
+        }
+    }
+}
+
+/// An N-dimensional region: one [`RegionBound`] per dimension, interpreted
+/// "in the same order as the dimension specifiers" (§V.A).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    dims: Vec<RegionBound>,
+}
+
+impl Region {
+    pub fn new(dims: Vec<RegionBound>) -> Self {
+        assert!(!dims.is_empty(), "a region needs at least one dimension");
+        Region { dims }
+    }
+
+    /// 1-D region over an inclusive index range.
+    pub fn d1(bound: impl Into<RegionBound>) -> Self {
+        Region::new(vec![bound.into()])
+    }
+
+    /// 2-D region (rows, cols).
+    pub fn d2(rows: impl Into<RegionBound>, cols: impl Into<RegionBound>) -> Self {
+        Region::new(vec![rows.into(), cols.into()])
+    }
+
+    /// Region covering everything, any dimensionality.
+    pub fn all() -> Self {
+        Region::new(vec![RegionBound::Full])
+    }
+
+    pub fn ndims(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn dims(&self) -> &[RegionBound] {
+        &self.dims
+    }
+
+    /// Two regions overlap iff they overlap in **every** dimension.
+    /// Regions of different arity are compared conservatively: missing
+    /// dimensions are treated as full (so `Region::all()` overlaps
+    /// anything).
+    pub fn overlaps(&self, other: &Region) -> bool {
+        let n = self.dims.len().max(other.dims.len());
+        (0..n).all(|i| {
+            let a = self.dims.get(i).copied().unwrap_or(RegionBound::Full);
+            let b = other.dims.get(i).copied().unwrap_or(RegionBound::Full);
+            a.overlaps(b)
+        })
+    }
+
+    /// Is `other` contained in `self` in every dimension?
+    pub fn contains(&self, other: &Region) -> bool {
+        let n = self.dims.len().max(other.dims.len());
+        (0..n).all(|i| {
+            let a = self.dims.get(i).copied().unwrap_or(RegionBound::Full);
+            let b = other.dims.get(i).copied().unwrap_or(RegionBound::Full);
+            a.contains(b)
+        })
+    }
+
+    /// Total element count, if every dimension is bounded.
+    pub fn volume(&self) -> Option<usize> {
+        self.dims.iter().try_fold(1usize, |acc, d| {
+            d.len().map(|l| acc.saturating_mul(l))
+        })
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Build a [`Region`] from per-dimension range expressions, mirroring the
+/// paper's specifier list.
+///
+/// ```
+/// use smpss::{region, Region, RegionBound};
+/// let r = region![0..=9, .., 4..8];
+/// assert_eq!(r.ndims(), 3);
+/// assert_eq!(r.dims()[0], RegionBound::Bounds(0, 9));
+/// assert_eq!(r.dims()[1], RegionBound::Full);
+/// assert_eq!(r.dims()[2], RegionBound::Bounds(4, 7));
+/// ```
+#[macro_export]
+macro_rules! region {
+    ($($bound:expr),+ $(,)?) => {
+        $crate::Region::new(vec![$($crate::RegionBound::from($bound)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_constructors() {
+        assert_eq!(RegionBound::from(2..=5), RegionBound::Bounds(2, 5));
+        assert_eq!(RegionBound::from(2..5), RegionBound::Bounds(2, 4));
+        assert_eq!(RegionBound::from(..), RegionBound::Full);
+        assert_eq!(RegionBound::at(3, 4), RegionBound::Bounds(3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region bound")]
+    fn empty_range_rejected() {
+        let _ = RegionBound::from(5..5);
+    }
+
+    #[test]
+    fn bound_overlap() {
+        let a = RegionBound::Bounds(0, 4);
+        let b = RegionBound::Bounds(4, 8);
+        let c = RegionBound::Bounds(5, 8);
+        assert!(a.overlaps(b)); // inclusive bounds share index 4
+        assert!(!a.overlaps(c));
+        assert!(RegionBound::Full.overlaps(c));
+        assert!(c.overlaps(RegionBound::Full));
+    }
+
+    #[test]
+    fn bound_contains() {
+        let a = RegionBound::Bounds(0, 9);
+        assert!(a.contains(RegionBound::Bounds(3, 7)));
+        assert!(!a.contains(RegionBound::Bounds(3, 10)));
+        assert!(RegionBound::Full.contains(a));
+        assert!(!a.contains(RegionBound::Full));
+    }
+
+    #[test]
+    fn region_overlap_requires_all_dims() {
+        // Two 2-D regions that overlap in rows but not in columns: disjoint.
+        let a = Region::d2(0..=3, 0..=3);
+        let b = Region::d2(2..=5, 4..=7);
+        assert!(!a.overlaps(&b));
+        let c = Region::d2(2..=5, 3..=7);
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn mixed_arity_is_conservative() {
+        let whole = Region::all();
+        let part = Region::d2(0..=1, 0..=1);
+        assert!(whole.overlaps(&part));
+        assert!(part.overlaps(&whole));
+        assert!(whole.contains(&part));
+        assert!(!part.contains(&whole));
+    }
+
+    #[test]
+    fn volume() {
+        assert_eq!(Region::d2(0..=3, 0..=4).volume(), Some(20));
+        assert_eq!(Region::all().volume(), None);
+        assert_eq!(region![1..=1].volume(), Some(1));
+    }
+
+    #[test]
+    fn display_matches_paper_flavour() {
+        assert_eq!(format!("{}", region![2..=5, ..]), "{2..5}{}");
+    }
+
+    #[test]
+    fn mergesort_quarters_are_disjoint() {
+        // The Figure 7 decomposition: four quarters of [0, 4q).
+        let q = 256;
+        let quarters: Vec<Region> = (0..4)
+            .map(|k| Region::d1(k * q..=(k + 1) * q - 1))
+            .collect();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(quarters[i].overlaps(&quarters[j]), i == j);
+            }
+        }
+        // The first merge reads quarters 0 and 1 and writes {i1..j2} of tmp,
+        // which overlaps both inputs' index space.
+        let merge_out = Region::d1(0..=2 * q - 1);
+        assert!(merge_out.overlaps(&quarters[0]));
+        assert!(merge_out.overlaps(&quarters[1]));
+        assert!(!merge_out.overlaps(&quarters[2]));
+    }
+}

@@ -1,0 +1,27 @@
+//! Representants (§V.B of the paper).
+//!
+//! > "A representant is a memory address that represents a possibly
+//! > non-contiguous collection of memory addresses. Each representant is
+//! > normally associated to an opaque pointer that is used by the tasks to
+//! > access the actual data."
+//!
+//! A representant carries **no payload**: it exists only so that tasks can
+//! declare `input`/`output`/`inout` directionality on it and thereby
+//! project the dependencies of the represented (opaque) data back into the
+//! analyser. In this embedding it is simply a [`Handle<()>`].
+//!
+//! The paper's caveat applies unchanged: "since renaming is automatic and
+//! transparent to the program, representants cannot be reliably used if
+//! there are false dependencies between the represented data" — renaming a
+//! representant would detach the dependency chain from the real data it
+//! stands for. Programs that combine representants with repeated
+//! overwriting should either structure accesses as `inout` chains (no
+//! rename happens without concurrent readers) or disable renaming.
+
+use crate::data::object::Handle;
+
+/// A dependency-only stand-in for data the runtime cannot see.
+/// Create with [`Runtime::representant`](crate::Runtime::representant) and
+/// pass to the same `input`/`output`/`inout` spawner methods as real
+/// handles.
+pub type Representant = Handle<()>;

@@ -1,0 +1,339 @@
+//! Versioned buffers and task-side access bindings.
+//!
+//! This module is the crate's one concentration of `unsafe`. The soundness
+//! argument mirrors the paper's correctness argument for the runtime itself:
+//!
+//! * A [`WriteBinding`] for a buffer is only created when the dependency
+//!   analyser has arranged (through graph edges or through renaming onto a
+//!   fresh buffer) that **no other task** holds a conflicting binding whose
+//!   task can run concurrently.
+//! * A [`ReadBinding`] is only created for a version whose writer (if any)
+//!   is ordered *before* the reading task by a true-dependency edge.
+//! * The scheduler never runs a task before all its graph predecessors have
+//!   completed (`deps == 0`), and task bodies are the only code that
+//!   dereferences bindings.
+//!
+//! Therefore, whenever a task body runs, its write buffers are exclusively
+//! owned and its read buffers are immutable-shared. On top of that, every
+//! binding *dynamically validates* the invariant with reader/writer counters
+//! on the buffer — a dependency-analysis or scheduler bug trips an assert in
+//! any build profile rather than silently racing.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use super::TaskData;
+
+/// Memory-accounting ticket: registers `bytes` against a runtime-wide
+/// counter for as long as the owning version buffer is alive. This is
+/// what the §III *memory limit* blocking condition watches — renaming
+/// trades memory for parallelism, and the ticket count is exactly that
+/// traded memory.
+pub(crate) struct MemTicket {
+    bytes: usize,
+    acct: Arc<AtomicUsize>,
+}
+
+impl MemTicket {
+    pub(crate) fn new(bytes: usize, acct: Arc<AtomicUsize>) -> Self {
+        acct.fetch_add(bytes, Ordering::AcqRel);
+        MemTicket { bytes, acct }
+    }
+}
+
+impl Drop for MemTicket {
+    fn drop(&mut self) {
+        self.acct.fetch_sub(self.bytes, Ordering::AcqRel);
+    }
+}
+
+/// A single version buffer. Shared by `Arc` between the owning object (as
+/// its current version), the bindings of tasks that access it, and — after
+/// renaming — the bindings of tasks still reading an older value.
+pub(crate) struct VBuf<T> {
+    cell: UnsafeCell<T>,
+    /// Dynamic validation: tasks currently reading this buffer.
+    active_readers: AtomicUsize,
+    /// Dynamic validation: tasks currently writing this buffer (0 or 1).
+    active_writers: AtomicUsize,
+    /// Memory accounting; `None` for untracked buffers (unit tests).
+    /// Held, not read: the ticket's Drop releases the bytes when the
+    /// last reference to this version disappears.
+    #[allow(dead_code)]
+    ticket: Option<MemTicket>,
+}
+
+// SAFETY: `VBuf` hands out `&T` / `&mut T` only through the binding
+// discipline documented above; the runtime's dependency graph serialises
+// conflicting accesses, so sharing the cell across threads is sound for any
+// `T: Send`.
+unsafe impl<T: Send> Sync for VBuf<T> {}
+
+impl<T> VBuf<T> {
+    pub(crate) fn new(value: T) -> Self {
+        VBuf {
+            cell: UnsafeCell::new(value),
+            active_readers: AtomicUsize::new(0),
+            active_writers: AtomicUsize::new(0),
+            ticket: None,
+        }
+    }
+
+    pub(crate) fn with_ticket(value: T, ticket: MemTicket) -> Self {
+        VBuf {
+            cell: UnsafeCell::new(value),
+            active_readers: AtomicUsize::new(0),
+            active_writers: AtomicUsize::new(0),
+            ticket: Some(ticket),
+        }
+    }
+
+    /// Raw pointer to the payload; used by region bindings.
+    pub(crate) fn get(&self) -> *mut T {
+        self.cell.get()
+    }
+
+    pub(crate) fn begin_read(&self) {
+        assert_eq!(
+            self.active_writers.load(Ordering::Acquire),
+            0,
+            "SMPSs invariant violated: read overlapping an active write \
+             (dependency analysis or scheduler bug)"
+        );
+        self.active_readers.fetch_add(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn end_read(&self) {
+        self.active_readers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    pub(crate) fn begin_write(&self) {
+        assert_eq!(
+            self.active_writers.swap(1, Ordering::AcqRel),
+            0,
+            "SMPSs invariant violated: two concurrent writers on one version"
+        );
+        assert_eq!(
+            self.active_readers.load(Ordering::Acquire),
+            0,
+            "SMPSs invariant violated: write overlapping active reads"
+        );
+    }
+
+    pub(crate) fn end_write(&self) {
+        self.active_writers.store(0, Ordering::Release);
+    }
+
+    /// Read the payload assuming quiescence (used by `Runtime::read` after
+    /// waiting for the producer).
+    ///
+    /// # Safety
+    /// Caller must ensure no task holds an active write binding.
+    pub(crate) unsafe fn peek(&self) -> &T {
+        &*self.cell.get()
+    }
+
+    /// Mutate the payload assuming full quiescence.
+    ///
+    /// # Safety
+    /// Caller must ensure no task holds any active binding.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn peek_mut(&self) -> &mut T {
+        &mut *self.cell.get()
+    }
+}
+
+/// A task's read access to one version of a data object (an `input`
+/// parameter). Created by the dependency analyser at spawn time; used inside
+/// the task body; dropped when the body finishes, which releases the
+/// pending-reader count that renaming decisions consult.
+pub struct ReadBinding<T: TaskData> {
+    pub(crate) buf: Arc<VBuf<T>>,
+    /// Unfinished-reader counter of the version (owned by the object state).
+    pub(crate) pending: Arc<AtomicUsize>,
+    active: bool,
+}
+
+impl<T: TaskData> ReadBinding<T> {
+    pub(crate) fn new(buf: Arc<VBuf<T>>, pending: Arc<AtomicUsize>) -> Self {
+        pending.fetch_add(1, Ordering::AcqRel);
+        ReadBinding {
+            buf,
+            pending,
+            active: false,
+        }
+    }
+
+    /// Borrow the input value. First call begins the validated read window,
+    /// which lasts until the binding is dropped (end of the task body).
+    pub fn get(&mut self) -> &T {
+        if !self.active {
+            self.buf.begin_read();
+            self.active = true;
+        }
+        // SAFETY: dependency graph orders the producer before this task;
+        // concurrent accesses to this version are reads only (validated).
+        unsafe { &*self.buf.get() }
+    }
+}
+
+impl<T: TaskData> Drop for ReadBinding<T> {
+    fn drop(&mut self) {
+        if self.active {
+            self.buf.end_read();
+        }
+        self.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A task's write access to one version (an `output` or `inout` parameter).
+///
+/// For a renamed `inout`, the first [`get_mut`](Self::get_mut) performs the
+/// deferred **copy-in**: the predecessor version's payload is cloned into
+/// the fresh buffer. By that time the producer of the predecessor has
+/// finished (true dependency), so the copy reads settled data — this is how
+/// renaming turns an in-place update into a hazard-free one.
+pub struct WriteBinding<T: TaskData> {
+    pub(crate) buf: Arc<VBuf<T>>,
+    pub(crate) copy_from: Option<Arc<VBuf<T>>>,
+    active: bool,
+}
+
+impl<T: TaskData> WriteBinding<T> {
+    pub(crate) fn new(buf: Arc<VBuf<T>>, copy_from: Option<Arc<VBuf<T>>>) -> Self {
+        WriteBinding {
+            buf,
+            copy_from,
+            active: false,
+        }
+    }
+
+    /// True if this binding was renamed off an earlier version and will
+    /// copy-in on first access (exposed for tests and stats).
+    pub fn is_renamed_copy(&self) -> bool {
+        self.copy_from.is_some()
+    }
+
+    /// Borrow the output value mutably. First call begins the validated
+    /// write window and performs the deferred copy-in if renamed.
+    pub fn get_mut(&mut self) -> &mut T {
+        if !self.active {
+            self.buf.begin_write();
+            self.active = true;
+            if let Some(src) = self.copy_from.take() {
+                src.begin_read();
+                // SAFETY: src's producer finished (true dependency); other
+                // concurrent accesses to src are reads; dst is exclusively
+                // ours (fresh version, begin_write validated).
+                unsafe {
+                    (*self.buf.get()).clone_from(&*src.get());
+                }
+                src.end_read();
+            }
+        }
+        // SAFETY: see above — exclusive write window validated.
+        unsafe { &mut *self.buf.get() }
+    }
+}
+
+impl<T: TaskData> Drop for WriteBinding<T> {
+    fn drop(&mut self) {
+        if self.active {
+            self.buf.end_write();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vbuf(v: i32) -> Arc<VBuf<i32>> {
+        Arc::new(VBuf::new(v))
+    }
+
+    #[test]
+    fn read_binding_counts_pending() {
+        let b = vbuf(7);
+        let pending = Arc::new(AtomicUsize::new(0));
+        {
+            let mut r = ReadBinding::new(b.clone(), pending.clone());
+            assert_eq!(pending.load(Ordering::SeqCst), 1);
+            assert_eq!(*r.get(), 7);
+            let mut r2 = ReadBinding::new(b.clone(), pending.clone());
+            assert_eq!(pending.load(Ordering::SeqCst), 2);
+            assert_eq!(*r2.get(), 7); // concurrent reads are fine
+        }
+        assert_eq!(pending.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn write_binding_plain() {
+        let b = vbuf(1);
+        let mut w = WriteBinding::new(b.clone(), None);
+        assert!(!w.is_renamed_copy());
+        *w.get_mut() = 42;
+        drop(w);
+        let mut r = ReadBinding::new(b, Arc::new(AtomicUsize::new(0)));
+        assert_eq!(*r.get(), 42);
+    }
+
+    #[test]
+    fn copy_in_on_first_access() {
+        let old = vbuf(99);
+        let new = vbuf(0);
+        let mut w = WriteBinding::new(new.clone(), Some(old.clone()));
+        assert!(w.is_renamed_copy());
+        let v = w.get_mut();
+        assert_eq!(*v, 99, "copy-in must materialise the predecessor value");
+        *v += 1;
+        drop(w);
+        // Old version untouched; new version updated.
+        unsafe {
+            assert_eq!(*old.peek(), 99);
+            assert_eq!(*new.peek(), 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two concurrent writers")]
+    fn two_writers_trip_validation() {
+        let b = vbuf(0);
+        let mut w1 = WriteBinding::new(b.clone(), None);
+        let mut w2 = WriteBinding::new(b, None);
+        let _ = w1.get_mut();
+        let _ = w2.get_mut();
+    }
+
+    #[test]
+    #[should_panic(expected = "read overlapping an active write")]
+    fn read_during_write_trips_validation() {
+        let b = vbuf(0);
+        let mut w = WriteBinding::new(b.clone(), None);
+        let _ = w.get_mut();
+        let mut r = ReadBinding::new(b, Arc::new(AtomicUsize::new(0)));
+        let _ = r.get();
+    }
+
+    #[test]
+    #[should_panic(expected = "write overlapping active reads")]
+    fn write_during_read_trips_validation() {
+        let b = vbuf(0);
+        let mut r = ReadBinding::new(b.clone(), Arc::new(AtomicUsize::new(0)));
+        let _ = r.get();
+        let mut w = WriteBinding::new(b, None);
+        let _ = w.get_mut();
+    }
+
+    #[test]
+    fn reads_release_window_on_drop() {
+        let b = vbuf(0);
+        {
+            let mut r = ReadBinding::new(b.clone(), Arc::new(AtomicUsize::new(0)));
+            let _ = r.get();
+        }
+        let mut w = WriteBinding::new(b, None);
+        let _ = w.get_mut(); // must not panic: reader window closed
+    }
+}

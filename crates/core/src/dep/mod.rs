@@ -1,0 +1,232 @@
+//! The dependency analyser.
+//!
+//! This is the runtime half of §II: at every task invocation, "the runtime
+//! takes the memory address, size and directionality of each parameter …
+//! and uses them to analyze the dependencies". Each function here handles
+//! one directionality for one parameter; the [`TaskSpawner`] calls them in
+//! parameter-declaration order.
+//!
+//! ## Renaming (default)
+//!
+//! "In order to reduce dependencies, the SMPSs runtime is capable of
+//! renaming the data, leaving only the true dependencies. This is the same
+//! technique used by superscalar processors and optimizing compilers."
+//!
+//! * `input` — a true edge from the producer of the current version.
+//! * `output` — the old value is dead to us: if the current version is
+//!   quiescent (producer finished, no pending readers) we reuse its buffer
+//!   in place; otherwise we allocate a **fresh version** and leave the old
+//!   one to its readers. Either way, *no edge* is created.
+//! * `inout` — a true edge from the producer. If the current version has
+//!   pending readers, writing in place would be a WAR hazard, so we rename:
+//!   fresh buffer + deferred copy-in of the predecessor value (performed by
+//!   the task body once the producer has finished). Otherwise in place.
+//!
+//! ## Renaming disabled (ablation; SuperMatrix-style, §VII.C)
+//!
+//! Writers get anti-edges from all pending readers and an output edge from
+//! the previous producer; everything stays in place. Same results, more
+//! edges, less parallelism — measured by `ablation_renaming`.
+
+use std::sync::Arc;
+
+use crate::data::object::Handle;
+use crate::data::region::Region;
+use crate::data::region_handle::{
+    RegionAccess, RegionData, RegionHandle, RegionReadBinding, RegionWriteBinding,
+};
+use crate::data::version::{ReadBinding, WriteBinding};
+use crate::data::TaskData;
+use crate::graph::record::EdgeKind;
+use crate::runtime::spawner::TaskSpawner;
+
+/// Analyse an `input` parameter.
+pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBinding<T> {
+    let mut st = h.obj.state.lock();
+    if let Some(p) = &st.current.producer {
+        sp.link(p, EdgeKind::True);
+    }
+    if !sp.renaming() {
+        let node = Arc::clone(sp.node());
+        st.readers_list.push(node);
+    }
+    ReadBinding::new(
+        Arc::clone(&st.current.buf),
+        Arc::clone(&st.current.pending_readers),
+    )
+}
+
+/// Analyse an `output` parameter.
+pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
+    let mut st = h.obj.state.lock();
+    if sp.renaming() {
+        let quiescent = quiescent(&st.current);
+        if quiescent {
+            st.current.producer = Some(Arc::clone(sp.node()));
+            WriteBinding::new(Arc::clone(&st.current.buf), None)
+        } else {
+            sp.stats().renames();
+            let buf = h.obj.fresh_version_buf();
+            st.current = crate::data::object::CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(Arc::clone(sp.node())),
+                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            };
+            WriteBinding::new(buf, None)
+        }
+    } else {
+        let self_alias = link_hazards(sp, &mut st);
+        if self_alias {
+            // This task also *reads* the object (same pointer passed as
+            // input and output — e.g. `c = a + b` with `c == a`). The
+            // read must observe the pre-task value, so even the
+            // no-renaming ablation needs one fresh version here; the
+            // paper's C runtime faces the same aliasing and resolves it
+            // the same way (renaming is what makes the declaration
+            // well-defined).
+            sp.stats().renames();
+            let buf = h.obj.fresh_version_buf();
+            st.current = crate::data::object::CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(Arc::clone(sp.node())),
+                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            };
+            WriteBinding::new(buf, None)
+        } else {
+            st.current.producer = Some(Arc::clone(sp.node()));
+            WriteBinding::new(Arc::clone(&st.current.buf), None)
+        }
+    }
+}
+
+/// Analyse an `inout` parameter.
+pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
+    let mut st = h.obj.state.lock();
+    if let Some(p) = &st.current.producer {
+        sp.link(p, EdgeKind::True);
+    }
+    if sp.renaming() {
+        let readers = st
+            .current
+            .pending_readers
+            .load(std::sync::atomic::Ordering::Acquire);
+        if readers > 0 {
+            // WAR hazard: rename with deferred copy-in.
+            sp.stats().renames();
+            sp.stats().copy_ins();
+            let old_buf = Arc::clone(&st.current.buf);
+            let buf = h.obj.fresh_version_buf();
+            st.current = crate::data::object::CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(Arc::clone(sp.node())),
+                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            };
+            WriteBinding::new(buf, Some(old_buf))
+        } else {
+            st.current.producer = Some(Arc::clone(sp.node()));
+            WriteBinding::new(Arc::clone(&st.current.buf), None)
+        }
+    } else {
+        let self_alias = link_hazards(sp, &mut st);
+        if self_alias {
+            // See `write`: a self-aliased inout needs a fresh version
+            // with a copy-in so the read half observes the old value.
+            sp.stats().renames();
+            sp.stats().copy_ins();
+            let old_buf = Arc::clone(&st.current.buf);
+            let buf = h.obj.fresh_version_buf();
+            st.current = crate::data::object::CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(Arc::clone(sp.node())),
+                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            };
+            WriteBinding::new(buf, Some(old_buf))
+        } else {
+            st.current.producer = Some(Arc::clone(sp.node()));
+            WriteBinding::new(Arc::clone(&st.current.buf), None)
+        }
+    }
+}
+
+/// Is the current version settled (producer done, nobody still reading)?
+fn quiescent<T>(cur: &crate::data::object::CurrentVersion<T>) -> bool {
+    cur.producer.as_ref().is_none_or(|p| p.is_finished())
+        && cur
+            .pending_readers
+            .load(std::sync::atomic::Ordering::Acquire)
+            == 0
+}
+
+/// Renaming-disabled hazard edges: WAR from every pending reader, WAW from
+/// the previous producer. Returns whether the spawning task itself is
+/// among the readers (self-aliased input+write declaration).
+fn link_hazards<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<T>) -> bool {
+    let mut self_alias = false;
+    for r in st.readers_list.drain(..) {
+        if Arc::ptr_eq(&r, sp.node()) {
+            self_alias = true;
+        } else {
+            sp.link(&r, EdgeKind::Anti);
+        }
+    }
+    if let Some(p) = &st.current.producer {
+        sp.link(p, EdgeKind::Output);
+    }
+    self_alias
+}
+
+/// Analyse a region `input`.
+pub(crate) fn read_region<T: RegionData>(
+    sp: &TaskSpawner<'_>,
+    h: &RegionHandle<T>,
+    region: Region,
+) -> RegionReadBinding<T> {
+    region_deps(sp, h, &region, false);
+    RegionReadBinding::new(Arc::clone(&h.obj), region)
+}
+
+/// Analyse a region `output`/`inout`. The region analyser does not rename
+/// (see module docs), so both directions produce identical edges; the
+/// distinction only matters for documentation and the access API.
+pub(crate) fn write_region<T: RegionData>(
+    sp: &TaskSpawner<'_>,
+    h: &RegionHandle<T>,
+    region: Region,
+) -> RegionWriteBinding<T> {
+    region_deps(sp, h, &region, true);
+    RegionWriteBinding::new(Arc::clone(&h.obj), region)
+}
+
+fn region_deps<T: RegionData>(
+    sp: &TaskSpawner<'_>,
+    h: &RegionHandle<T>,
+    region: &Region,
+    write: bool,
+) {
+    let mut log = h.obj.log.lock();
+    // Finished entries can no longer gate anything; prune them unless the
+    // structural recorder needs the history.
+    if !sp.record_graph() {
+        log.retain(|e| !e.node.is_finished());
+    }
+    let me = sp.node().id();
+    for e in log.iter() {
+        if e.node.id() == me {
+            continue; // several regions of one task never self-depend
+        }
+        if !e.region.overlaps(region) {
+            continue;
+        }
+        match (e.write, write) {
+            (true, false) => sp.link(&e.node, EdgeKind::True),
+            (true, true) => sp.link(&e.node, EdgeKind::Output),
+            (false, true) => sp.link(&e.node, EdgeKind::Anti),
+            (false, false) => {} // read-read: no dependency
+        }
+    }
+    log.push(RegionAccess {
+        region: region.clone(),
+        write,
+        node: Arc::clone(sp.node()),
+    });
+}

@@ -1,0 +1,13 @@
+//! The dynamic task graph.
+//!
+//! "Whenever the application calls a task, a node in a task graph is added
+//! for each task instance and a series of edges indicating their
+//! dependencies" (§II). [`node`] holds the live node used for scheduling;
+//! [`record`] is the optional structural recorder used for inspection, DOT
+//! export (Figure 5) and as input to the `smpss-sim` machine simulator.
+
+pub mod node;
+pub mod record;
+
+pub use node::{NodeSync, TaskNode};
+pub use record::{EdgeKind, GraphRecord, NodeInfo};

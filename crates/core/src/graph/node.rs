@@ -1,0 +1,224 @@
+//! Live task-graph nodes.
+//!
+//! A [`TaskNode`] is created when the main program invokes a task and lives
+//! until the task finishes. Dependency bookkeeping uses the *guard* pattern:
+//! the node is created with `deps == 1`; the analyser increments `deps` for
+//! every unfinished producer it links; submitting the task decrements the
+//! guard. The task is ready exactly when `deps` reaches zero, which closes
+//! the race between dependency discovery and concurrent completions.
+
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ids::TaskId;
+use crate::runtime::Priority;
+
+/// Task body: a boxed closure executed exactly once on some compute thread.
+pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
+
+const STATE_PENDING: u8 = 0;
+const STATE_RUNNING: u8 = 1;
+const STATE_FINISHED: u8 = 2;
+
+/// Successor bookkeeping, guarded by a mutex so that edge insertion (by the
+/// spawning thread) and completion (by a worker) serialise per node.
+pub struct NodeSync {
+    finished: bool,
+    succs: Vec<Arc<TaskNode>>,
+}
+
+/// One task instance in the dynamic graph.
+pub struct TaskNode {
+    pub(crate) id: TaskId,
+    pub(crate) name: &'static str,
+    pub(crate) high: AtomicBool,
+    /// Outstanding dependencies + the spawn guard.
+    pub(crate) deps: AtomicUsize,
+    pub(crate) state: AtomicU8,
+    pub(crate) body: Mutex<Option<TaskBody>>,
+    pub(crate) sync: Mutex<NodeSync>,
+}
+
+impl TaskNode {
+    pub(crate) fn new(id: TaskId, name: &'static str, priority: Priority) -> Arc<Self> {
+        Arc::new(TaskNode {
+            id,
+            name,
+            high: AtomicBool::new(priority == Priority::High),
+            deps: AtomicUsize::new(1), // spawn guard
+            state: AtomicU8::new(STATE_PENDING),
+            body: Mutex::new(None),
+            sync: Mutex::new(NodeSync {
+                finished: false,
+                succs: Vec::new(),
+            }),
+        })
+    }
+
+    pub(crate) fn id(&self) -> TaskId {
+        self.id
+    }
+
+    pub(crate) fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn priority(&self) -> Priority {
+        if self.high.load(Ordering::Relaxed) {
+            Priority::High
+        } else {
+            Priority::Normal
+        }
+    }
+
+    pub(crate) fn set_high_priority(&self) {
+        self.high.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the task body has run to completion.
+    pub(crate) fn is_finished(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_FINISHED
+    }
+
+    /// Try to register `succ` as a successor of `self`.
+    ///
+    /// Returns `true` (and retains an `Arc` to the successor) if `self` has
+    /// not finished yet — in that case the caller must count one outstanding
+    /// dependency on `succ`. Returns `false` if `self` already finished, in
+    /// which case the data is already produced and no edge is needed.
+    pub(crate) fn add_successor(&self, succ: &Arc<TaskNode>) -> bool {
+        let mut sync = self.sync.lock();
+        if sync.finished {
+            false
+        } else {
+            sync.succs.push(Arc::clone(succ));
+            true
+        }
+    }
+
+    /// Increment the outstanding-dependency count by one.
+    pub(crate) fn retain_dep(&self) {
+        self.deps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remove one outstanding dependency; returns `true` if the task just
+    /// became ready (count reached zero).
+    pub(crate) fn release_dep(&self) -> bool {
+        self.deps.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// Install the body. Must happen before the spawn guard is released.
+    pub(crate) fn install_body(&self, body: TaskBody) {
+        let mut slot = self.body.lock();
+        debug_assert!(slot.is_none(), "body installed twice for {:?}", self.id);
+        *slot = Some(body);
+    }
+
+    /// Take the body for execution; panics if the node is not ready or the
+    /// body was already taken (i.e. a scheduling bug).
+    pub(crate) fn take_body(&self) -> TaskBody {
+        self.state.store(STATE_RUNNING, Ordering::Relaxed);
+        self.body
+            .lock()
+            .take()
+            .unwrap_or_else(|| panic!("task {:?} ({}) scheduled twice", self.id, self.name))
+    }
+
+    /// Mark the task finished and collect the successors that just became
+    /// ready. Successor `Arc`s not returned are dropped here, so finished
+    /// chains do not keep the whole graph alive.
+    pub(crate) fn complete(&self) -> Vec<Arc<TaskNode>> {
+        let succs = {
+            let mut sync = self.sync.lock();
+            sync.finished = true;
+            std::mem::take(&mut sync.succs)
+        };
+        self.state.store(STATE_FINISHED, Ordering::Release);
+        let mut ready = Vec::new();
+        for s in succs {
+            if s.release_dep() {
+                ready.push(s);
+            }
+        }
+        ready
+    }
+}
+
+impl std::fmt::Debug for TaskNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskNode")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("deps", &self.deps.load(Ordering::Relaxed))
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64) -> Arc<TaskNode> {
+        TaskNode::new(TaskId(id), "t", Priority::Normal)
+    }
+
+    #[test]
+    fn guard_protocol() {
+        let n = node(1);
+        // Fresh node holds only the spawn guard.
+        assert!(n.release_dep() || true);
+        // Releasing the guard on a node with no other deps makes it ready.
+        let n = node(2);
+        assert!(n.release_dep());
+    }
+
+    #[test]
+    fn edge_to_unfinished_counts() {
+        let p = node(1);
+        let s = node(2);
+        assert!(p.add_successor(&s));
+        s.retain_dep(); // caller counts the edge
+        assert!(!s.release_dep()); // guard release: still 1 outstanding
+        p.install_body(Box::new(|| {}));
+        let _ = p.take_body();
+        let ready = p.complete();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].id(), TaskId(2));
+    }
+
+    #[test]
+    fn edge_to_finished_is_skipped() {
+        let p = node(1);
+        p.install_body(Box::new(|| {}));
+        let _ = p.take_body();
+        let _ = p.complete();
+        let s = node(2);
+        assert!(!p.add_successor(&s));
+        assert!(s.release_dep()); // only the guard was held
+    }
+
+    #[test]
+    fn complete_drops_successor_arcs() {
+        let p = node(1);
+        let s = node(2);
+        assert!(p.add_successor(&s));
+        s.retain_dep();
+        let before = Arc::strong_count(&s);
+        assert_eq!(before, 2);
+        let ready = p.complete();
+        drop(ready);
+        assert_eq!(Arc::strong_count(&s), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled twice")]
+    fn double_schedule_panics() {
+        let n = node(1);
+        n.install_body(Box::new(|| {}));
+        let _ = n.take_body();
+        let _ = n.take_body();
+    }
+}

@@ -1,0 +1,64 @@
+//! Small identifier types used throughout the runtime.
+
+use std::fmt;
+
+/// Identifier of a task instance.
+///
+/// Tasks are numbered by **invocation order starting at 1**, exactly like the
+/// node numbering of Figure 5 in the paper ("each node … is numbered
+/// according to its invocation order"). This makes graph-shape assertions in
+/// tests directly comparable to the paper's figures.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u64);
+
+impl TaskId {
+    /// Zero-based index (for dense per-task arrays).
+    #[inline]
+    pub fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a logical data object (a [`Handle`](crate::Handle),
+/// [`RegionHandle`](crate::RegionHandle) or representant).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Index of a compute thread. Thread 0 is the main thread (which helps run
+/// tasks when blocked); threads `1..n` are the spawned workers.
+pub type ThreadIdx = usize;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_is_one_based() {
+        assert_eq!(TaskId(1).index(), 0);
+        assert_eq!(format!("{:?}", TaskId(7)), "T7");
+        assert_eq!(format!("{}", TaskId(7)), "7");
+    }
+
+    #[test]
+    fn object_id_debug() {
+        assert_eq!(format!("{:?}", ObjectId(3)), "D3");
+    }
+}

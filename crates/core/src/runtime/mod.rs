@@ -1,0 +1,444 @@
+//! The public [`Runtime`]: object creation, task spawning, barriers,
+//! blocking conditions, and runtime introspection.
+
+pub mod spawner;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use parking_lot::Mutex;
+
+use crate::config::{RuntimeBuilder, RuntimeConfig};
+use crate::data::object::{DataObject, Handle};
+use crate::data::region_handle::{RegionData, RegionHandle, RegionObject};
+use crate::data::representant::Representant;
+use crate::data::TaskData;
+use crate::graph::record::GraphRecord;
+use crate::ids::ObjectId;
+use crate::sched::queues::{Job, SleepCtl};
+use crate::sched::worker::{find_task, run_task, worker_loop};
+use crate::stats::{Stats, StatsSnapshot};
+use crate::trace::{EventKind, Trace, TraceCollector};
+
+/// Task scheduling priority (the paper's `highpriority` clause).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Priority {
+    #[default]
+    Normal,
+    /// "Tasks in the high priority list are scheduled as soon as possible
+    /// independently of any locality consideration."
+    High,
+}
+
+/// State shared between the main thread and the workers.
+pub struct Shared {
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) stats: Stats,
+    /// Global high-priority ready list (FIFO).
+    pub(crate) hp: Injector<Job>,
+    /// The main ready list (FIFO): "a point of distribution of tasks in
+    /// areas of the graph that are not being explored".
+    pub(crate) main_q: Injector<Job>,
+    /// Single central queue for [`SchedulerPolicy::CentralQueue`](crate::config::SchedulerPolicy).
+    pub(crate) central: Injector<Job>,
+    /// FIFO-stealing ends of every thread's own list (index 0 = main).
+    pub(crate) stealers: Vec<Stealer<Job>>,
+    /// Spawned-but-unfinished task instances (the live graph size).
+    pub(crate) live: AtomicUsize,
+    /// Bytes held by live data versions (initial buffers + renamed
+    /// copies); watched by the §III memory-limit blocking condition.
+    pub(crate) live_bytes: Arc<AtomicUsize>,
+    pub(crate) next_task: AtomicU64,
+    pub(crate) next_obj: AtomicU64,
+    pub(crate) graph: Option<Mutex<GraphRecord>>,
+    pub(crate) tracer: Option<TraceCollector>,
+    pub(crate) sleep: SleepCtl,
+    pub(crate) shutdown: AtomicBool,
+}
+
+impl Shared {
+    #[inline]
+    pub(crate) fn trace_event(&self, thread: usize, kind: EventKind) {
+        if let Some(t) = &self.tracer {
+            t.record(thread, kind);
+        }
+    }
+}
+
+/// The SMPSs runtime. One instance owns the worker threads and all data
+/// objects created through it. The creating thread is the **main thread**
+/// of the paper's execution model: it runs the (sequential-looking) main
+/// program, performs all dependency analysis, and helps execute tasks when
+/// it blocks on a barrier or on the graph-size limit.
+pub struct Runtime {
+    pub(crate) shared: Arc<Shared>,
+    /// The main thread's own ready list (thread index 0).
+    pub(crate) main_local: Worker<Job>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Start a runtime with an explicit configuration.
+    pub fn with_config(cfg: RuntimeConfig) -> Self {
+        let n = cfg.threads;
+        let mut locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let shared = Arc::new(Shared {
+            graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
+            tracer: cfg.tracing.then(|| TraceCollector::new(n)),
+            cfg,
+            stats: Stats::default(),
+            hp: Injector::new(),
+            main_q: Injector::new(),
+            central: Injector::new(),
+            stealers,
+            live: AtomicUsize::new(0),
+            live_bytes: Arc::new(AtomicUsize::new(0)),
+            next_task: AtomicU64::new(0),
+            next_obj: AtomicU64::new(0),
+            sleep: SleepCtl::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let main_local = locals.remove(0);
+        let joins = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("smpss-worker-{}", i + 1))
+                    .spawn(move || worker_loop(shared, local, i + 1))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime {
+            shared,
+            main_local,
+            joins,
+        }
+    }
+
+    /// Number of compute threads (main + workers).
+    pub fn threads(&self) -> usize {
+        self.shared.cfg.threads
+    }
+
+    /// Create a runtime-managed data object initialised to `value`.
+    /// Renaming allocates fresh buffers by cloning a prototype of `value`;
+    /// use [`data_with_alloc`](Self::data_with_alloc) to avoid keeping that
+    /// prototype alive.
+    pub fn data<T: TaskData>(&self, value: T) -> Handle<T> {
+        // Mutex-wrapped so the allocator is Sync without requiring T: Sync;
+        // it is only ever called from the spawning thread anyway.
+        let proto = Mutex::new(value.clone());
+        self.data_with_alloc(value, move || proto.lock().clone())
+    }
+
+    /// Create a data object with an explicit allocator for renamed
+    /// versions. The allocator must produce a value of the same *shape*
+    /// (e.g. a zeroed block of the same dimensions); its contents are
+    /// overwritten (for `output`) or copied over (for renamed `inout`).
+    pub fn data_with_alloc<T: TaskData>(
+        &self,
+        value: T,
+        alloc: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Handle<T> {
+        self.data_sized(value, std::mem::size_of::<T>(), alloc)
+    }
+
+    /// Like [`data_with_alloc`](Self::data_with_alloc) with an explicit
+    /// per-version byte count for the memory-limit accounting — use it
+    /// for heap-backed payloads, where `size_of::<T>()` only sees the
+    /// header (e.g. `m*m*4` for an `m x m` f32 block).
+    pub fn data_sized<T: TaskData>(
+        &self,
+        value: T,
+        version_bytes: usize,
+        alloc: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Handle<T> {
+        let id = ObjectId(self.shared.next_obj.fetch_add(1, Ordering::Relaxed) + 1);
+        Handle {
+            obj: Arc::new(DataObject::new(
+                id,
+                value,
+                Box::new(alloc),
+                version_bytes,
+                Arc::clone(&self.shared.live_bytes),
+            )),
+        }
+    }
+
+    /// Create a region-tracked buffer (§V.A array regions).
+    ///
+    /// ```
+    /// # use smpss::{region, Runtime};
+    /// let rt = Runtime::builder().threads(2).build();
+    /// let data = rt.region_data(vec![0u8; 100]);
+    /// // Two tasks on disjoint regions: no dependency, may run in parallel.
+    /// for k in 0..2usize {
+    ///     let (lo, hi) = (k * 50, k * 50 + 49);
+    ///     let mut sp = rt.task("fill");
+    ///     let mut w = sp.write_region(&data, region![lo..=hi]);
+    ///     sp.submit(move || w.slice_mut(lo, hi).fill(k as u8 + 1));
+    /// }
+    /// rt.barrier();
+    /// rt.with_region(&data, |v| {
+    ///     assert_eq!(v[0], 1);
+    ///     assert_eq!(v[99], 2);
+    /// });
+    /// ```
+    pub fn region_data<T: RegionData>(&self, value: T) -> RegionHandle<T> {
+        let id = ObjectId(self.shared.next_obj.fetch_add(1, Ordering::Relaxed) + 1);
+        RegionHandle {
+            obj: Arc::new(RegionObject::new(id, value)),
+        }
+    }
+
+    /// Create a representant (§V.B): a dependency-only object with no
+    /// payload, standing in for data accessed through [`Opaque`](crate::Opaque)
+    /// pointers.
+    pub fn representant(&self) -> Representant {
+        self.data(())
+    }
+
+    /// Begin a task invocation. The returned [`TaskSpawner`](spawner::TaskSpawner)
+    /// collects parameter accesses (in declaration order) and is consumed by
+    /// `submit`. The `task_def!` macro generates exactly this sequence.
+    pub fn task(&self, name: &'static str) -> spawner::TaskSpawner<'_> {
+        spawner::TaskSpawner::new(self, name)
+    }
+
+    /// Barrier: block until every spawned task has finished. The main
+    /// thread "behaves as a worker thread until an unblocking condition is
+    /// reached" — it executes tasks rather than idling.
+    ///
+    /// ```
+    /// # use smpss::Runtime;
+    /// let rt = Runtime::builder().threads(2).build();
+    /// let x = rt.data(1i32);
+    /// let mut sp = rt.task("double");
+    /// let mut w = sp.inout(&x);
+    /// sp.submit(move || *w.get_mut() *= 2);
+    /// rt.barrier();
+    /// assert_eq!(rt.read(&x), 2);
+    /// ```
+    pub fn barrier(&self) {
+        self.shared.stats.barriers();
+        self.shared.trace_event(0, EventKind::BarrierBegin);
+        while self.shared.live.load(Ordering::Acquire) > 0 {
+            if !self.help_once() {
+                self.shared
+                    .sleep
+                    .park(Duration::from_micros(self.shared.cfg.park_micros));
+            }
+        }
+        self.shared.trace_event(0, EventKind::BarrierEnd);
+    }
+
+    /// Wait until the data named by `h` is produced (the last writer task
+    /// spawned so far has finished); helps run tasks meanwhile. This is
+    /// the `css wait on` construct: finer than a barrier, it leaves
+    /// unrelated tasks running.
+    ///
+    /// ```
+    /// # use smpss::Runtime;
+    /// let rt = Runtime::builder().threads(2).build();
+    /// let x = rt.data(0u32);
+    /// let y = rt.data(0u32);
+    /// for h in [&x, &y] {
+    ///     let mut sp = rt.task("set");
+    ///     let mut w = sp.write(h);
+    ///     sp.submit(move || *w.get_mut() = 7);
+    /// }
+    /// rt.wait_on(&x);            // y's task may still be pending
+    /// assert_eq!(rt.read(&x), 7);
+    /// # rt.barrier();
+    /// ```
+    pub fn wait_on<T: TaskData>(&self, h: &Handle<T>) {
+        loop {
+            let producer = h.obj.state.lock().current.producer.clone();
+            match producer {
+                None => return,
+                Some(p) if p.is_finished() => return,
+                Some(_) => {
+                    if !self.help_once() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait for `h` to be produced, then return a copy of its value.
+    pub fn read<T: TaskData>(&self, h: &Handle<T>) -> T {
+        self.wait_on(h);
+        let st = h.obj.state.lock();
+        // SAFETY: the producer has finished and the main thread (the only
+        // spawner) is right here, so no new writer can appear; concurrent
+        // readers share immutably.
+        unsafe { st.current.buf.peek().clone() }
+    }
+
+    /// Wait until `h` is fully quiescent (produced and no pending readers),
+    /// then mutate it in place from the main thread.
+    pub fn update<T: TaskData>(&self, h: &Handle<T>, f: impl FnOnce(&mut T)) {
+        loop {
+            {
+                let st = h.obj.state.lock();
+                let settled = st.current.producer.as_ref().is_none_or(|p| p.is_finished())
+                    && st.current.pending_readers.load(Ordering::Acquire) == 0;
+                if settled {
+                    // SAFETY: no producer running, no pending readers, and
+                    // no concurrent spawns (single main thread).
+                    unsafe { f(st.current.buf.peek_mut()) };
+                    return;
+                }
+            }
+            if !self.help_once() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Wait until every task that accessed region-handle `h` has finished,
+    /// then run `f` with shared access to the buffer.
+    pub fn with_region<T: RegionData, R>(&self, h: &RegionHandle<T>, f: impl FnOnce(&T) -> R) -> R {
+        loop {
+            {
+                let log = h.obj.log.lock();
+                if log.iter().all(|e| e.node.is_finished()) {
+                    // SAFETY: all accessors finished; main thread is the
+                    // only spawner, so no new ones can appear.
+                    return unsafe { f(&*h.obj.buf.get()) };
+                }
+            }
+            if !self.help_once() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Mutate a region buffer from the main thread once fully quiescent.
+    pub fn update_region<T: RegionData>(&self, h: &RegionHandle<T>, f: impl FnOnce(&mut T)) {
+        loop {
+            {
+                let log = h.obj.log.lock();
+                if log.iter().all(|e| e.node.is_finished()) {
+                    // SAFETY: as in `with_region`, plus exclusivity because
+                    // no task is live on this object.
+                    unsafe { f(&mut *h.obj.buf.get()) };
+                    return;
+                }
+            }
+            if !self.help_once() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Snapshot of the runtime counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Number of live (spawned, unfinished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.shared.live.load(Ordering::Acquire)
+    }
+
+    /// Bytes currently held by live data versions (initial buffers plus
+    /// the renamed copies the analyser allocated and has not yet been
+    /// able to retire).
+    pub fn live_version_bytes(&self) -> usize {
+        self.shared.live_bytes.load(Ordering::Acquire)
+    }
+
+    /// Clone the recorded task graph. Returns `None` unless the runtime was
+    /// built with [`record_graph`](crate::RuntimeBuilder::record_graph).
+    pub fn graph(&self) -> Option<GraphRecord> {
+        self.shared.graph.as_ref().map(|g| g.lock().clone())
+    }
+
+    /// Drain the trace collected so far. Returns `None` unless the runtime
+    /// was built with [`tracing`](crate::RuntimeBuilder::tracing). Call
+    /// after a [`barrier`](Self::barrier) for a complete picture.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.shared.tracer.as_ref().map(|t| t.drain())
+    }
+
+    /// Run one ready task on the main thread, if any. Returns whether a
+    /// task was run. This is the "main thread behaves as a worker" path.
+    pub(crate) fn help_once(&self) -> bool {
+        if let Some((job, src)) = find_task(&self.shared, &self.main_local, 0) {
+            run_task(&self.shared, &self.main_local, 0, job, src);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block the spawning path while a §III blocking condition holds
+    /// (graph-size limit or memory limit), helping run tasks meanwhile.
+    pub(crate) fn throttle(&self) {
+        if let Some(limit) = self.shared.cfg.graph_size_limit {
+            if self.shared.live.load(Ordering::Acquire) > limit {
+                self.shared.stats.throttle_blocks();
+                self.shared.trace_event(0, EventKind::BarrierBegin);
+                while self.shared.live.load(Ordering::Acquire) > limit {
+                    if !self.help_once() {
+                        std::thread::yield_now();
+                    }
+                }
+                self.shared.trace_event(0, EventKind::BarrierEnd);
+            }
+        }
+        if let Some(limit) = self.shared.cfg.memory_limit {
+            if self.shared.live_bytes.load(Ordering::Acquire) > limit {
+                self.shared.stats.throttle_blocks();
+                self.shared.trace_event(0, EventKind::BarrierBegin);
+                // Versions retire when tasks finish and their bindings
+                // drop; once no tasks are live the footprint cannot
+                // shrink further, so stop blocking then (the limit is a
+                // back-pressure knob, not a hard allocation cap).
+                while self.shared.live_bytes.load(Ordering::Acquire) > limit
+                    && self.shared.live.load(Ordering::Acquire) > 0
+                {
+                    if !self.help_once() {
+                        std::thread::yield_now();
+                    }
+                }
+                self.shared.trace_event(0, EventKind::BarrierEnd);
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        // Drain all outstanding work, then stop the workers.
+        if !std::thread::panicking() {
+            self.barrier();
+        }
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.sleep.notify_all();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.threads())
+            .field("live_tasks", &self.live_tasks())
+            .finish()
+    }
+}

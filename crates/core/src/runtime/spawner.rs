@@ -1,0 +1,190 @@
+//! Task invocation: dependency collection and submission.
+//!
+//! A [`TaskSpawner`] is what one `#pragma css task` call site expands to:
+//! it creates the graph node, runs the dependency analyser once per
+//! parameter **in declaration order** (the order the paper's compiler
+//! emits), and finally installs the body and releases the task to the
+//! scheduler. The `task_def!` macro generates this sequence; the builder
+//! API is public for region-based and dynamic call sites.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::data::object::Handle;
+use crate::data::region::Region;
+use crate::data::region_handle::{RegionData, RegionHandle, RegionReadBinding, RegionWriteBinding};
+use crate::data::version::{ReadBinding, WriteBinding};
+use crate::data::TaskData;
+use crate::dep;
+use crate::graph::node::TaskNode;
+use crate::graph::record::{EdgeKind, NodeInfo};
+use crate::ids::TaskId;
+use crate::runtime::Runtime;
+use crate::sched::worker::enqueue_ready;
+use crate::stats::Stats;
+use crate::trace::EventKind;
+
+/// One in-flight task invocation. Create with
+/// [`Runtime::task`](crate::Runtime::task); consume with
+/// [`submit`](Self::submit). Dropping a spawner without submitting is a
+/// programming error and panics (the node already exists in the graph).
+pub struct TaskSpawner<'rt> {
+    rt: &'rt Runtime,
+    node: Arc<TaskNode>,
+    submitted: bool,
+}
+
+impl<'rt> TaskSpawner<'rt> {
+    pub(crate) fn new(rt: &'rt Runtime, name: &'static str) -> Self {
+        let id = TaskId(rt.shared.next_task.fetch_add(1, Ordering::Relaxed) + 1);
+        let node = TaskNode::new(id, name, crate::runtime::Priority::Normal);
+        rt.shared.live.fetch_add(1, Ordering::AcqRel);
+        rt.shared.stats.tasks_spawned();
+        if let Some(g) = &rt.shared.graph {
+            g.lock().add_node(NodeInfo {
+                id,
+                name,
+                high_priority: false,
+            });
+        }
+        TaskSpawner {
+            rt,
+            node,
+            submitted: false,
+        }
+    }
+
+    /// The invocation-order id of this task (1-based, as in Figure 5).
+    pub fn id(&self) -> TaskId {
+        self.node.id()
+    }
+
+    /// Mark this task `highpriority`.
+    pub fn high_priority(&mut self) -> &mut Self {
+        self.node.set_high_priority();
+        if let Some(g) = &self.rt.shared.graph {
+            g.lock().set_high_priority(self.node.id());
+        }
+        self
+    }
+
+    /// Declare an `input` parameter.
+    pub fn read<T: TaskData>(&mut self, h: &Handle<T>) -> ReadBinding<T> {
+        dep::read(self, h)
+    }
+
+    /// Declare an `output` parameter.
+    pub fn write<T: TaskData>(&mut self, h: &Handle<T>) -> WriteBinding<T> {
+        dep::write(self, h)
+    }
+
+    /// Declare an `inout` parameter.
+    pub fn inout<T: TaskData>(&mut self, h: &Handle<T>) -> WriteBinding<T> {
+        dep::inout(self, h)
+    }
+
+    /// Declare an `input` access to an array region (§V.A).
+    pub fn read_region<T: RegionData>(
+        &mut self,
+        h: &RegionHandle<T>,
+        region: Region,
+    ) -> RegionReadBinding<T> {
+        dep::read_region(self, h, region)
+    }
+
+    /// Declare an `output` access to an array region.
+    pub fn write_region<T: RegionData>(
+        &mut self,
+        h: &RegionHandle<T>,
+        region: Region,
+    ) -> RegionWriteBinding<T> {
+        dep::write_region(self, h, region)
+    }
+
+    /// Declare an `inout` access to an array region. The region analyser
+    /// does not rename, so this is dependency-equivalent to
+    /// [`write_region`](Self::write_region) but documents intent.
+    pub fn inout_region<T: RegionData>(
+        &mut self,
+        h: &RegionHandle<T>,
+        region: Region,
+    ) -> RegionWriteBinding<T> {
+        dep::write_region(self, h, region)
+    }
+
+    /// Install the task body and hand the task to the scheduler. If all
+    /// dependencies were already satisfied the task goes to the main ready
+    /// list (or the high-priority list) immediately.
+    pub fn submit<F>(mut self, body: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.node.install_body(Box::new(body));
+        self.rt.shared.trace_event(0, EventKind::Spawn(self.node.id()));
+        self.submitted = true;
+        let node = Arc::clone(&self.node);
+        if node.release_dep() {
+            enqueue_ready(&self.rt.shared, None, node);
+        }
+        self.rt.throttle();
+    }
+
+    // ---- analyser plumbing -------------------------------------------
+
+    pub(crate) fn node(&self) -> &Arc<TaskNode> {
+        &self.node
+    }
+
+    pub(crate) fn renaming(&self) -> bool {
+        self.rt.shared.cfg.renaming
+    }
+
+    pub(crate) fn record_graph(&self) -> bool {
+        self.rt.shared.graph.is_some()
+    }
+
+    pub(crate) fn stats(&self) -> &Stats {
+        &self.rt.shared.stats
+    }
+
+    /// Link a dependency edge `producer -> self`, recording it structurally
+    /// and counting it for scheduling if the producer is still unfinished.
+    pub(crate) fn link(&self, producer: &Arc<TaskNode>, kind: EdgeKind) {
+        if Arc::ptr_eq(producer, &self.node) {
+            // A task never depends on itself (e.g. `inout` then `input` of
+            // the same handle within one invocation).
+            return;
+        }
+        if let Some(g) = &self.rt.shared.graph {
+            g.lock().add_edge(producer.id(), self.node.id(), kind);
+        }
+        match kind {
+            EdgeKind::True => self.rt.shared.stats.true_edges(),
+            EdgeKind::Anti | EdgeKind::Output => self.rt.shared.stats.anti_edges(),
+        }
+        // Count the dependency BEFORE publishing the successor link: the
+        // producer may complete the instant `add_successor` releases its
+        // lock, and its completion path must find the count already in
+        // place (otherwise the task could be released twice — once by the
+        // uncounted completion, once by the spawn guard).
+        self.node.retain_dep();
+        if !producer.add_successor(&self.node) {
+            // Producer already finished: undo. The spawn guard is still
+            // held, so this can never release the task.
+            let became_ready = self.node.release_dep();
+            debug_assert!(!became_ready, "spawn guard must still be held");
+        }
+    }
+}
+
+impl Drop for TaskSpawner<'_> {
+    fn drop(&mut self) {
+        if !self.submitted && !std::thread::panicking() {
+            panic!(
+                "TaskSpawner for {:?} ({}) dropped without submit()",
+                self.node.id(),
+                self.node.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Ready-queue plumbing: injector draining, idle parking.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer};
+use parking_lot::{Condvar, Mutex};
+
+use crate::graph::node::TaskNode;
+
+/// A schedulable unit: a ready task node.
+pub type Job = Arc<TaskNode>;
+
+/// Where a job was obtained from — drives the stats counters and lets tests
+/// assert the paper's lookup order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskSource {
+    HighPriority,
+    OwnList,
+    MainList,
+    Stolen { victim: usize },
+}
+
+/// Drain one job from an injector, absorbing `Steal::Retry`.
+pub(crate) fn pop_injector(inj: &Injector<Job>) -> Option<Job> {
+    loop {
+        match inj.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// Steal one job from another thread's deque, absorbing `Steal::Retry`.
+pub(crate) fn steal_from(stealer: &Stealer<Job>) -> Option<Job> {
+    loop {
+        match stealer.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// Idle-thread parking. Workers that repeatedly find no work park on the
+/// condvar with a timeout; every enqueue wakes one sleeper. The timeout
+/// bounds the staleness of any lost wakeup, so the scheduler cannot hang.
+pub struct SleepCtl {
+    lock: Mutex<()>,
+    cv: Condvar,
+    sleepers: AtomicUsize,
+}
+
+impl Default for SleepCtl {
+    fn default() -> Self {
+        SleepCtl {
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl SleepCtl {
+    /// Park the calling thread for at most `timeout`.
+    pub fn park(&self, timeout: Duration) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut guard = self.lock.lock();
+        self.cv.wait_for(&mut guard, timeout);
+        drop(guard);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Wake one parked thread, if any.
+    pub fn notify_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.lock.lock();
+            self.cv.notify_one();
+        }
+    }
+
+    /// Wake every parked thread (shutdown, barrier completion).
+    pub fn notify_all(&self) {
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+    use crate::runtime::Priority;
+
+    fn job(id: u64) -> Job {
+        TaskNode::new(TaskId(id), "t", Priority::Normal)
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push(job(1));
+        inj.push(job(2));
+        inj.push(job(3));
+        assert_eq!(pop_injector(&inj).unwrap().id(), TaskId(1));
+        assert_eq!(pop_injector(&inj).unwrap().id(), TaskId(2));
+        assert_eq!(pop_injector(&inj).unwrap().id(), TaskId(3));
+        assert!(pop_injector(&inj).is_none());
+    }
+
+    #[test]
+    fn own_deque_lifo_steal_fifo() {
+        // The paper's central queue discipline: owner LIFO, thief FIFO.
+        let w = crossbeam_deque::Worker::new_lifo();
+        let s = w.stealer();
+        w.push(job(1));
+        w.push(job(2));
+        w.push(job(3));
+        // Thief takes the oldest.
+        assert_eq!(steal_from(&s).unwrap().id(), TaskId(1));
+        // Owner takes the newest.
+        assert_eq!(w.pop().unwrap().id(), TaskId(3));
+        assert_eq!(w.pop().unwrap().id(), TaskId(2));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn park_times_out() {
+        let ctl = SleepCtl::default();
+        let t0 = std::time::Instant::now();
+        ctl.park(Duration::from_millis(5));
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn notify_wakes_parked_thread() {
+        let ctl = Arc::new(SleepCtl::default());
+        let c2 = Arc::clone(&ctl);
+        let h = std::thread::spawn(move || {
+            c2.park(Duration::from_secs(10));
+        });
+        // Give the thread a moment to park, then wake it; the join proves
+        // the wakeup (well before the 10s timeout).
+        while ctl.sleepers.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        ctl.notify_all();
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,118 @@
+//! The worker loop: task lookup, execution and completion propagation.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::Worker;
+
+use super::queues::{pop_injector, steal_from, Job, TaskSource};
+use crate::config::SchedulerPolicy;
+use crate::runtime::{Priority, Shared};
+use crate::trace::EventKind;
+
+/// Look for a ready task following the paper's §III order:
+/// high-priority list → own list (LIFO) → main list (FIFO) → steal from
+/// other threads in creation order starting from the next one (FIFO).
+pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Job, TaskSource)> {
+    if let Some(job) = pop_injector(&shared.hp) {
+        return Some((job, TaskSource::HighPriority));
+    }
+    match shared.cfg.policy {
+        SchedulerPolicy::Smpss => {
+            if let Some(job) = local.pop() {
+                return Some((job, TaskSource::OwnList));
+            }
+            if let Some(job) = pop_injector(&shared.main_q) {
+                return Some((job, TaskSource::MainList));
+            }
+            let n = shared.stealers.len();
+            for off in 1..n {
+                let victim = (idx + off) % n;
+                if let Some(job) = steal_from(&shared.stealers[victim]) {
+                    return Some((job, TaskSource::Stolen { victim }));
+                }
+            }
+            None
+        }
+        SchedulerPolicy::CentralQueue => {
+            pop_injector(&shared.central).map(|job| (job, TaskSource::MainList))
+        }
+    }
+}
+
+/// Put a task that just became ready where the policy says it belongs.
+///
+/// With the SMPSs policy, a task whose **last input dependency was removed
+/// by thread t** goes to t's own list (`local = Some`); tasks born ready on
+/// the spawning path go to the main list (`local = None`). High-priority
+/// tasks always go to the global high-priority list so that they are
+/// "scheduled as soon as possible independently of any locality
+/// consideration".
+pub fn enqueue_ready(shared: &Shared, local: Option<&Worker<Job>>, job: Job) {
+    if job.priority() == Priority::High {
+        shared.hp.push(job);
+    } else {
+        match shared.cfg.policy {
+            SchedulerPolicy::Smpss => match local {
+                Some(w) => w.push(job),
+                None => shared.main_q.push(job),
+            },
+            SchedulerPolicy::CentralQueue => shared.central.push(job),
+        }
+    }
+    shared.sleep.notify_one();
+}
+
+/// Execute one task and propagate readiness to its successors.
+pub fn run_task(shared: &Shared, local: &Worker<Job>, idx: usize, job: Job, source: TaskSource) {
+    match source {
+        TaskSource::HighPriority => shared.stats.hp_pops(),
+        TaskSource::OwnList => shared.stats.own_pops(),
+        TaskSource::MainList => shared.stats.main_pops(),
+        TaskSource::Stolen { victim } => {
+            shared.stats.steals();
+            shared.trace_event(idx, EventKind::Steal { victim });
+        }
+    }
+    shared.trace_event(idx, EventKind::Start(job.id(), job.name()));
+    let body = job.take_body();
+    body(); // bindings drop here: read windows close, pending counts fall
+    shared.stats.tasks_executed();
+    shared.trace_event(idx, EventKind::End(job.id()));
+
+    let ready = job.complete();
+    let n_ready = ready.len();
+    for succ in ready {
+        enqueue_ready(shared, Some(local), succ);
+    }
+    let was_live = shared.live.fetch_sub(1, Ordering::AcqRel);
+    if was_live == 1 || n_ready > 1 {
+        // Everything done (wake the barrier) or surplus work (wake thieves).
+        shared.sleep.notify_all();
+    }
+}
+
+/// Body of each spawned worker thread.
+pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
+    let mut idle_scans = 0usize;
+    loop {
+        if let Some((job, src)) = find_task(&shared, &local, idx) {
+            idle_scans = 0;
+            run_task(&shared, &local, idx, job, src);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        idle_scans += 1;
+        if idle_scans < shared.cfg.spin_tries {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        } else {
+            shared
+                .sleep
+                .park(Duration::from_micros(shared.cfg.park_micros));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Runtime counters.
+//!
+//! The counters make scheduler and analyser behaviour observable, which the
+//! test-suite and the ablation benches rely on: e.g. renaming must drive
+//! `anti_edges` to zero ("the graph only contains true dependencies", §III),
+//! and locality scheduling should make `own_pops` dominate `steals`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters, updated by all threads.
+#[derive(Default, Debug)]
+pub struct Stats {
+    pub(crate) tasks_spawned: AtomicU64,
+    pub(crate) tasks_executed: AtomicU64,
+    /// True (read-after-write) dependency edges that gated a task.
+    pub(crate) true_edges: AtomicU64,
+    /// Anti/output edges (only produced with renaming disabled, or by the
+    /// region analyser which — like the paper's runtime — does not rename).
+    pub(crate) anti_edges: AtomicU64,
+    /// Fresh versions allocated by the renamer.
+    pub(crate) renames: AtomicU64,
+    /// Deferred copy-ins performed for renamed `inout` parameters.
+    pub(crate) copy_ins: AtomicU64,
+    /// Tasks obtained from the thread's own ready list.
+    pub(crate) own_pops: AtomicU64,
+    /// Tasks obtained from the main (FIFO) ready list.
+    pub(crate) main_pops: AtomicU64,
+    /// Tasks obtained from the high-priority list.
+    pub(crate) hp_pops: AtomicU64,
+    /// Tasks stolen from another thread's ready list.
+    pub(crate) steals: AtomicU64,
+    /// Barriers executed.
+    pub(crate) barriers: AtomicU64,
+    /// Times the main thread blocked on the graph-size limit and helped.
+    pub(crate) throttle_blocks: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($name:ident),* $(,)?) => {
+        $(
+            #[inline]
+            pub(crate) fn $name(&self) {
+                self.$name.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+#[allow(non_snake_case)]
+impl Stats {
+    bump!(
+        tasks_spawned,
+        tasks_executed,
+        true_edges,
+        anti_edges,
+        renames,
+        copy_ins,
+        own_pops,
+        main_pops,
+        hp_pops,
+        steals,
+        barriers,
+        throttle_blocks,
+    );
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            tasks_spawned: ld(&self.tasks_spawned),
+            tasks_executed: ld(&self.tasks_executed),
+            true_edges: ld(&self.true_edges),
+            anti_edges: ld(&self.anti_edges),
+            renames: ld(&self.renames),
+            copy_ins: ld(&self.copy_ins),
+            own_pops: ld(&self.own_pops),
+            main_pops: ld(&self.main_pops),
+            hp_pops: ld(&self.hp_pops),
+            steals: ld(&self.steals),
+            barriers: ld(&self.barriers),
+            throttle_blocks: ld(&self.throttle_blocks),
+        }
+    }
+}
+
+/// A point-in-time copy of the runtime counters; see
+/// [`Runtime::stats`](crate::Runtime::stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub tasks_spawned: u64,
+    pub tasks_executed: u64,
+    pub true_edges: u64,
+    pub anti_edges: u64,
+    pub renames: u64,
+    pub copy_ins: u64,
+    pub own_pops: u64,
+    pub main_pops: u64,
+    pub hp_pops: u64,
+    pub steals: u64,
+    pub barriers: u64,
+    pub throttle_blocks: u64,
+}
+
+impl StatsSnapshot {
+    /// Total dependency edges of any kind.
+    pub fn total_edges(&self) -> u64 {
+        self.true_edges + self.anti_edges
+    }
+
+    /// Total ready-queue acquisitions (one per executed task).
+    pub fn total_pops(&self) -> u64 {
+        self.own_pops + self.main_pops + self.hp_pops + self.steals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = Stats::default();
+        s.tasks_spawned();
+        s.tasks_spawned();
+        s.true_edges();
+        s.steals();
+        let snap = s.snapshot();
+        assert_eq!(snap.tasks_spawned, 2);
+        assert_eq!(snap.true_edges, 1);
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.total_edges(), 1);
+        assert_eq!(snap.total_pops(), 1);
+    }
+}

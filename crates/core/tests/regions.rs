@@ -1,0 +1,247 @@
+//! Black-box tests of the array-region extension (§V.A) and its
+//! equivalence with the representant workaround (§V.B).
+
+use smpss::{region, Region, Runtime};
+
+/// Sort-free miniature of the Figure 7 pattern: write four quarters
+/// independently, then merge pairs, then merge the result.
+#[test]
+fn quarters_then_merges() {
+    let rt = Runtime::builder().threads(4).build();
+    let n = 64usize;
+    let data = rt.region_data(vec![0i64; n]);
+    let q = n / 4;
+    // Four independent writers (disjoint regions -> no edges, can run in
+    // any order / in parallel).
+    for k in 0..4 {
+        let (lo, hi) = (k * q, (k + 1) * q - 1);
+        let mut sp = rt.task("fill_quarter");
+        let mut w = sp.write_region(&data, region![lo..=hi]);
+        sp.submit(move || {
+            for (off, v) in w.slice_mut(lo, hi).iter_mut().enumerate() {
+                *v = (k * q + off) as i64;
+            }
+        });
+    }
+    // Two half-sums reading two quarters each.
+    let sums = rt.region_data(vec![0i64; 2]);
+    for half in 0..2 {
+        let (lo, hi) = (half * 2 * q, (half + 1) * 2 * q - 1);
+        let mut sp = rt.task("sum_half");
+        let mut r = sp.read_region(&data, region![lo..=hi]);
+        let mut w = sp.write_region(&sums, region![half..=half]);
+        sp.submit(move || {
+            let s: i64 = r.slice(lo, hi).iter().sum();
+            w.slice_mut(half, half)[0] = s;
+        });
+    }
+    rt.barrier();
+    let expected: i64 = (0..n as i64).sum();
+    let got = rt.with_region(&sums, |v| v[0] + v[1]);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn overlapping_writes_serialise() {
+    let rt = Runtime::builder().threads(4).build();
+    let data = rt.region_data(vec![0i64; 10]);
+    // 100 tasks incrementing an overlapping window; all overlap index 5,
+    // so every task is serialised against every other: final value exact.
+    for i in 0..100usize {
+        let lo = (i % 5).min(5);
+        let mut sp = rt.task("bump");
+        let mut w = sp.inout_region(&data, region![lo..=9]);
+        sp.submit(move || {
+            w.slice_mut(5, 5)[0] += 1;
+        });
+    }
+    rt.barrier();
+    assert_eq!(rt.with_region(&data, |v| v[5]), 100);
+}
+
+#[test]
+fn disjoint_writes_have_no_edges() {
+    let rt = Runtime::builder()
+        .threads(1)
+        .record_graph(true)
+        .build();
+    let data = rt.region_data(vec![0u8; 100]);
+    for k in 0..10usize {
+        let (lo, hi) = (k * 10, k * 10 + 9);
+        let mut sp = rt.task("disjoint");
+        let mut w = sp.write_region(&data, region![lo..=hi]);
+        sp.submit(move || {
+            w.slice_mut(lo, hi).fill(k as u8);
+        });
+    }
+    rt.barrier();
+    let g = rt.graph().unwrap();
+    assert_eq!(g.node_count(), 10);
+    assert_eq!(g.edge_count(), 0, "disjoint regions must not serialise");
+    rt.with_region(&data, |v| {
+        for (i, &b) in v.iter().enumerate() {
+            assert_eq!(b as usize, i / 10);
+        }
+    });
+}
+
+#[test]
+fn read_write_edge_kinds_are_recorded() {
+    use smpss::graph::record::EdgeKind;
+    let rt = Runtime::builder()
+        .threads(1)
+        .record_graph(true)
+        .build();
+    let data = rt.region_data(vec![0i64; 8]);
+    // T1 writes [0..=7]; T2 reads [0..=3] (true); T3 writes [2..=5]
+    // (anti on T2, output on T1).
+    {
+        let mut sp = rt.task("w1");
+        let mut w = sp.write_region(&data, region![0..=7]);
+        sp.submit(move || w.slice_mut(0, 7).fill(1));
+    }
+    {
+        let mut sp = rt.task("r2");
+        let mut r = sp.read_region(&data, region![0..=3]);
+        sp.submit(move || {
+            let _ = r.slice(0, 3);
+        });
+    }
+    {
+        let mut sp = rt.task("w3");
+        let mut w = sp.write_region(&data, region![2..=5]);
+        sp.submit(move || w.slice_mut(2, 5).fill(2));
+    }
+    rt.barrier();
+    let g = rt.graph().unwrap();
+    use smpss::TaskId;
+    let kinds: Vec<_> = g.edges().to_vec();
+    assert!(kinds.contains(&(TaskId(1), TaskId(2), EdgeKind::True)));
+    assert!(kinds.contains(&(TaskId(2), TaskId(3), EdgeKind::Anti)));
+    assert!(kinds.contains(&(TaskId(1), TaskId(3), EdgeKind::Output)));
+}
+
+#[test]
+fn update_region_from_main() {
+    let rt = Runtime::builder().threads(2).build();
+    let data = rt.region_data(vec![1i64; 4]);
+    {
+        let mut sp = rt.task("double");
+        let mut w = sp.inout_region(&data, Region::all());
+        sp.submit(move || {
+            for v in w.slice_mut(0, 3) {
+                *v *= 2;
+            }
+        });
+    }
+    rt.update_region(&data, |v| v.push(99));
+    rt.barrier();
+    rt.with_region(&data, |v| assert_eq!(v, &[2, 2, 2, 2, 99]));
+}
+
+/// §V.B: for non-overlapping regions, one representant per region plus an
+/// opaque pointer reproduces the region behaviour. Check the two
+/// formulations give the same dependency counts on the quarter/merge shape.
+#[test]
+fn representants_equal_regions_for_disjoint_sets() {
+    use smpss::Opaque;
+
+    // Region formulation.
+    let rt1 = Runtime::builder().threads(1).record_graph(true).build();
+    {
+        let data = rt1.region_data(vec![0i64; 16]);
+        for k in 0..4usize {
+            let (lo, hi) = (k * 4, k * 4 + 3);
+            let mut sp = rt1.task("fill");
+            let mut w = sp.write_region(&data, region![lo..=hi]);
+            sp.submit(move || w.slice_mut(lo, hi).fill(k as i64));
+        }
+        // One reader per adjacent pair.
+        for k in 0..3usize {
+            let (lo, hi) = (k * 4, k * 4 + 7);
+            let mut sp = rt1.task("pair");
+            let mut r = sp.read_region(&data, region![lo..=hi]);
+            sp.submit(move || {
+                let _ = r.slice(lo, hi);
+            });
+        }
+        rt1.barrier();
+    }
+    let g1 = rt1.graph().unwrap();
+
+    // Representant formulation: one representant per quarter.
+    let rt2 = Runtime::builder().threads(1).record_graph(true).build();
+    {
+        let flat = Opaque::new(vec![0i64; 16]);
+        let reps: Vec<_> = (0..4).map(|_| rt2.representant()).collect();
+        for (k, rep) in reps.iter().enumerate() {
+            let mut sp = rt2.task("fill");
+            let _w = sp.write(rep);
+            let flat = flat.clone();
+            sp.submit(move || unsafe {
+                flat.with_mut(|v| v[k * 4..k * 4 + 4].fill(k as i64));
+            });
+        }
+        for k in 0..3usize {
+            let mut sp = rt2.task("pair");
+            let _r1 = sp.read(&reps[k]);
+            let _r2 = sp.read(&reps[k + 1]);
+            let flat = flat.clone();
+            sp.submit(move || unsafe {
+                flat.with(|v| {
+                    let _ = &v[k * 4..k * 4 + 8];
+                });
+            });
+        }
+        rt2.barrier();
+    }
+    let g2 = rt2.graph().unwrap();
+
+    assert_eq!(g1.node_count(), g2.node_count());
+    // Same dependency structure: every pair-reader depends on exactly the
+    // two producers of its quarters.
+    for id in 5..=7u64 {
+        assert_eq!(
+            g1.predecessors(smpss::TaskId(id)),
+            g2.predecessors(smpss::TaskId(id)),
+            "region and representant formulations must induce the same deps"
+        );
+    }
+}
+
+#[test]
+fn two_dimensional_regions_track_submatrices() {
+    // A 4x4 logical matrix stored row-major in a Vec; regions are 2-D.
+    let rt = Runtime::builder().threads(1).record_graph(true).build();
+    let m = rt.region_data(vec![0i64; 16]);
+    // Top-left and bottom-right 2x2 blocks: disjoint in both dims? No —
+    // disjoint overall because rows AND cols both disjoint.
+    {
+        let mut sp = rt.task("tl");
+        let mut w = sp.write_region(&m, Region::d2(0..=1, 0..=1));
+        sp.submit(move || {
+            // Row-major manual addressing; region guards only check dim 0
+            // bounds for the slice API, so use per-row slices of dim-0
+            // flattened index space. For 2-D we write within the declared
+            // rows only. (Access checked against dim 0 of the region: the
+            // slice API is 1-D; see module docs.)
+            let _ = &mut w;
+        });
+    }
+    {
+        let mut sp = rt.task("br");
+        let _w = sp.write_region(&m, Region::d2(2..=3, 2..=3));
+        sp.submit(move || {});
+    }
+    {
+        let mut sp = rt.task("row0");
+        let _r = sp.read_region(&m, Region::d2(0..=0, 0..=3));
+        sp.submit(move || {});
+    }
+    rt.barrier();
+    let g = rt.graph().unwrap();
+    use smpss::TaskId;
+    // row0 overlaps tl (row 0, cols 0..=1) but not br.
+    assert_eq!(g.predecessors(TaskId(3)), [TaskId(1)].into_iter().collect());
+    assert_eq!(g.predecessors(TaskId(2)).len(), 0);
+}

@@ -1,0 +1,106 @@
+//! Machine and runtime-overhead configuration for the simulator.
+
+/// Which ready-queue discipline the simulated runtime uses. Mirrors
+/// `smpss::config::SchedulerPolicy` plus ablation variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimPolicy {
+    /// §III: per-thread LIFO lists, FIFO main list, FIFO stealing in
+    /// creation order starting from the next thread.
+    #[default]
+    Smpss,
+    /// One central FIFO queue (SuperMatrix-style, §VII.C).
+    CentralQueue,
+    /// Like [`SimPolicy::Smpss`] but threads steal the *newest* entry of
+    /// the victim's list (LIFO stealing) — the ablation for the paper's
+    /// "work-stealing in FIFO order … has more probability of having most
+    /// of its input data already evicted from the cache".
+    StealLifo,
+}
+
+/// Virtual-machine parameters. Times are microseconds of virtual time.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Compute threads (thread 0 is the main thread).
+    pub threads: usize,
+    /// Main-thread time to analyse dependencies and create one task.
+    /// This serialises task generation, which is what makes tiny blocks
+    /// collapse in Figure 8 ("the amount of per task computation is small
+    /// compared to the overhead of managing so many tasks").
+    pub spawn_overhead_us: f64,
+    /// Per-task scheduling/dispatch overhead on the executing thread.
+    pub dispatch_overhead_us: f64,
+    /// Extra cost of executing a stolen task (cold cache, queue traffic).
+    pub steal_overhead_us: f64,
+    /// Multiplier (< 1 speeds up) applied to a task's cost when it runs
+    /// on the thread that released its last dependency — the §III
+    /// locality design ("output data is reused immediately").
+    pub locality_factor: f64,
+    /// §III blocking condition: the main thread stops spawning and helps
+    /// execute while more than this many tasks are live.
+    pub graph_size_limit: Option<usize>,
+    pub policy: SimPolicy,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            threads: 1,
+            // Calibrated to the paper's guidance that tasks need ~250 µs
+            // granularity for the runtime overhead to stay negligible:
+            // a few µs of combined per-task overhead ≈ 1-2%.
+            spawn_overhead_us: 2.0,
+            dispatch_overhead_us: 1.0,
+            steal_overhead_us: 2.0,
+            locality_factor: 0.95,
+            graph_size_limit: None,
+            policy: SimPolicy::Smpss,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// A P-thread machine with the default overheads.
+    pub fn with_threads(threads: usize) -> Self {
+        MachineConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// Disable every overhead and the locality model (pure greedy
+    /// list scheduling; useful for upper-bound comparisons and tests).
+    pub fn ideal(threads: usize) -> Self {
+        MachineConfig {
+            threads,
+            spawn_overhead_us: 0.0,
+            dispatch_overhead_us: 0.0,
+            steal_overhead_us: 0.0,
+            locality_factor: 1.0,
+            graph_size_limit: None,
+            policy: SimPolicy::Smpss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_granularity_guidance() {
+        let c = MachineConfig::default();
+        let per_task = c.spawn_overhead_us + c.dispatch_overhead_us;
+        assert!(
+            per_task / 250.0 < 0.02,
+            "overheads must be small relative to a 250 µs task"
+        );
+    }
+
+    #[test]
+    fn ideal_is_overhead_free() {
+        let c = MachineConfig::ideal(8);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.spawn_overhead_us, 0.0);
+        assert_eq!(c.locality_factor, 1.0);
+    }
+}

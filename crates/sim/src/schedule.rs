@@ -1,0 +1,178 @@
+//! Virtual schedules: the per-task placement record a simulation can
+//! optionally produce, exported in the same Paraver-style format as the
+//! real runtime's tracer — so a simulated 32-core run and a real trace
+//! can be inspected with the same tooling.
+
+use std::fmt::Write as _;
+
+/// One task's placement in the simulated schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Placement {
+    /// Zero-based spawn index of the task.
+    pub task: usize,
+    /// Executing virtual thread (0 = main).
+    pub worker: usize,
+    /// Virtual start time, µs.
+    pub start_us: f64,
+    /// Virtual end time, µs.
+    pub end_us: f64,
+    /// Was the task stolen?
+    pub stolen: bool,
+}
+
+/// The full schedule of one simulation run (see
+/// [`simulate_with_schedule`](crate::engine::simulate_with_schedule)).
+#[derive(Clone, Debug, Default)]
+pub struct Schedule {
+    pub(crate) threads: usize,
+    pub(crate) placements: Vec<Placement>,
+}
+
+impl Schedule {
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Virtual makespan covered by the schedule.
+    pub fn span_us(&self) -> f64 {
+        self.placements.iter().map(|p| p.end_us).fold(0.0, f64::max)
+    }
+
+    /// Check the schedule is physically possible: no worker runs two
+    /// tasks at once.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut by_worker: Vec<Vec<&Placement>> = vec![Vec::new(); self.threads];
+        for p in &self.placements {
+            if p.worker >= self.threads {
+                return Err(format!("task {} on unknown worker {}", p.task, p.worker));
+            }
+            if p.end_us < p.start_us {
+                return Err(format!("task {} ends before it starts", p.task));
+            }
+            by_worker[p.worker].push(p);
+        }
+        for (w, mut ps) in by_worker.into_iter().enumerate() {
+            ps.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+            for pair in ps.windows(2) {
+                if pair[1].start_us < pair[0].end_us - 1e-9 {
+                    return Err(format!(
+                        "worker {w} overlaps tasks {} and {}",
+                        pair[0].task, pair[1].task
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-worker busy time, µs.
+    pub fn busy_per_worker(&self) -> Vec<f64> {
+        let mut busy = vec![0.0; self.threads];
+        for p in &self.placements {
+            busy[p.worker] += p.end_us - p.start_us;
+        }
+        busy
+    }
+
+    /// A coarse text Gantt chart (`width` columns), one row per worker.
+    pub fn gantt(&self, width: usize) -> String {
+        let span = self.span_us().max(1e-9);
+        let width = width.max(10);
+        let mut rows = vec![vec![b' '; width]; self.threads];
+        for p in &self.placements {
+            let c0 = ((p.start_us / span) * width as f64) as usize;
+            let c1 = (((p.end_us / span) * width as f64) as usize).min(width - 1);
+            let glyph = if p.stolen { b'x' } else { b'#' };
+            for cell in &mut rows[p.worker][c0.min(width - 1)..=c1] {
+                *cell = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (w, row) in rows.into_iter().enumerate() {
+            let _ = writeln!(out, "w{w:02} |{}|", String::from_utf8_lossy(&row));
+        }
+        let _ = writeln!(out, "      0 {:>width$.1} µs", span, width = width - 2);
+        out
+    }
+
+    /// Paraver-style `.prv` state records (virtual nanoseconds), matching
+    /// the real tracer's output format.
+    pub fn to_paraver(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "#Paraver (smpss-sim):{}_ns:1({}):1:1({}:1)",
+            (self.span_us() * 1e3) as u64,
+            self.threads,
+            self.threads
+        );
+        for p in &self.placements {
+            let _ = writeln!(
+                out,
+                "1:{}:1:1:{}:{}:{}:{}",
+                p.worker + 1,
+                p.worker + 1,
+                (p.start_us * 1e3) as u64,
+                (p.end_us * 1e3) as u64,
+                p.task + 1
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_with_schedule;
+    use crate::graph::{chain, independent};
+    use crate::machine::MachineConfig;
+
+    #[test]
+    fn schedule_covers_every_task_and_validates() {
+        let g = independent(40, 5.0);
+        let (res, sched) = simulate_with_schedule(&g, &MachineConfig::ideal(4));
+        assert_eq!(sched.placements().len(), 40);
+        sched.validate().unwrap();
+        assert!((sched.span_us() - res.makespan_us).abs() < 1e-6);
+        let busy: f64 = sched.busy_per_worker().iter().sum();
+        assert!((busy - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chain_schedule_is_sequential_in_time() {
+        let g = chain(10, 3.0);
+        let (_, sched) = simulate_with_schedule(&g, &MachineConfig::ideal(2));
+        sched.validate().unwrap();
+        let mut ps = sched.placements().to_vec();
+        ps.sort_by_key(|p| p.task);
+        for w in ps.windows(2) {
+            assert!(
+                w[1].start_us >= w[0].end_us - 1e-9,
+                "chain order must be respected in virtual time"
+            );
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_workers() {
+        let g = independent(16, 2.0);
+        let (_, sched) = simulate_with_schedule(&g, &MachineConfig::ideal(3));
+        let gantt = sched.gantt(40);
+        assert_eq!(gantt.lines().count(), 4); // 3 workers + axis
+        assert!(gantt.contains('#'));
+    }
+
+    #[test]
+    fn paraver_export_has_one_record_per_task() {
+        let g = independent(8, 1.0);
+        let (_, sched) = simulate_with_schedule(&g, &MachineConfig::ideal(2));
+        let prv = sched.to_paraver();
+        assert!(prv.starts_with("#Paraver"));
+        assert_eq!(prv.lines().filter(|l| l.starts_with("1:")).count(), 8);
+    }
+}

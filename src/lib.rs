@@ -1,0 +1,4 @@
+//! Workspace umbrella crate for the SMPSs reproduction: hosts the
+//! cross-crate integration tests (`tests/`) and the runnable examples
+//! (`examples/`). See README.md for the project overview and DESIGN.md
+//! for the system inventory.
