@@ -5,10 +5,9 @@ use std::sync::Arc;
 
 use smpss_baselines::{cilk, omp_tasks, ForkJoinPool, Joiner, Policy};
 
-#[test]
-fn deep_nesting_work_stealing() {
-    // A 4-ary spawn tree of depth 6: 4^6 leaves, heavy nesting.
-    fn tree(ctx: &smpss_baselines::forkjoin::TaskCtx<'_>, depth: usize, hits: &Arc<AtomicU64>) {
+/// A 4-ary spawn tree: 4^depth leaves, heavy nesting.
+fn spawn_tree_counts_leaves(depth: u32) {
+    fn tree(ctx: &smpss_baselines::forkjoin::TaskCtx<'_>, depth: u32, hits: &Arc<AtomicU64>) {
         if depth == 0 {
             hits.fetch_add(1, Ordering::Relaxed);
             return;
@@ -23,8 +22,19 @@ fn deep_nesting_work_stealing() {
     let pool = ForkJoinPool::new(4, Policy::WorkStealing);
     let hits = Arc::new(AtomicU64::new(0));
     let h = Arc::clone(&hits);
-    pool.run(|ctx| tree(ctx, 6, &h));
-    assert_eq!(hits.load(Ordering::Relaxed), 4u64.pow(6));
+    pool.run(|ctx| tree(ctx, depth, &h));
+    assert_eq!(hits.load(Ordering::Relaxed), 4u64.pow(depth));
+}
+
+#[test]
+fn deep_nesting_work_stealing() {
+    spawn_tree_counts_leaves(6);
+}
+
+#[test]
+#[ignore = "heavy: 4^9 = 262144 spawned leaves; run with `cargo test -- --ignored`"]
+fn deep_nesting_work_stealing_heavy() {
+    spawn_tree_counts_leaves(9);
 }
 
 #[test]
@@ -76,6 +86,23 @@ fn joiners_are_independent() {
     });
 }
 
+/// Both baseline multisorts must agree with the sequential sort.
+fn assert_sorts_agree(
+    cpool: &smpss_baselines::ForkJoinPool,
+    opool: &smpss_baselines::ForkJoinPool,
+    input: Vec<i64>,
+    params: cilk::SortParams,
+) {
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    let mut a = input.clone();
+    cilk::multisort(cpool, &mut a, params);
+    assert_eq!(a, expect);
+    let mut b = input;
+    omp_tasks::multisort(opool, &mut b, params);
+    assert_eq!(b, expect);
+}
+
 #[test]
 fn cilk_and_omp_sort_agree_on_adversarial_inputs() {
     let params = cilk::SortParams {
@@ -92,15 +119,25 @@ fn cilk_and_omp_sort_agree_on_adversarial_inputs() {
     let cpool = cilk::pool(4);
     let opool = omp_tasks::pool(4);
     for input in cases {
-        let mut expect = input.clone();
-        expect.sort_unstable();
-        let mut a = input.clone();
-        cilk::multisort(&cpool, &mut a, params);
-        assert_eq!(a, expect);
-        let mut b = input.clone();
-        omp_tasks::multisort(&opool, &mut b, params);
-        assert_eq!(b, expect);
+        assert_sorts_agree(&cpool, &opool, input, params);
     }
+}
+
+#[test]
+#[ignore = "heavy: 300k-element sorts on both baselines; run with `cargo test -- --ignored`"]
+fn cilk_and_omp_sort_agree_heavy() {
+    let params = cilk::SortParams {
+        quick_size: 512,
+        merge_size: 512,
+    };
+    let cpool = cilk::pool(4);
+    let opool = omp_tasks::pool(4);
+    assert_sorts_agree(
+        &cpool,
+        &opool,
+        smpss_apps::sort::random_input(300_000, 11),
+        params,
+    );
 }
 
 #[test]

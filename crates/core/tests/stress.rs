@@ -13,38 +13,60 @@ task_def! {
     fn xfer(input src: i64, inout dst: i64) { *dst = dst.wrapping_add(*src); }
 }
 
-#[test]
-fn ten_thousand_task_wave() {
+/// `rounds` waves over `cells` objects mixing self-bumps and
+/// neighbour transfers; asserts every task executed exactly once.
+fn task_wave(rounds: usize, cells_n: usize) {
     let rt = Runtime::builder().threads(4).build();
-    let cells: Vec<_> = (0..100).map(|_| rt.data(0i64)).collect();
-    for round in 0..100 {
+    let cells: Vec<_> = (0..cells_n).map(|_| rt.data(0i64)).collect();
+    for round in 0..rounds {
         for (i, c) in cells.iter().enumerate() {
             if (round + i) % 3 == 0 {
                 bump(&rt, c);
             } else {
-                xfer(&rt, &cells[(i + 1) % 100], c);
+                xfer(&rt, &cells[(i + 1) % cells_n], c);
             }
         }
     }
     rt.barrier();
     let st = rt.stats();
-    assert_eq!(st.tasks_executed, 10_000);
-    assert_eq!(st.total_pops(), 10_000);
+    assert_eq!(st.tasks_executed, (rounds * cells_n) as u64);
+    assert_eq!(st.total_pops(), (rounds * cells_n) as u64);
 }
 
-#[test]
-fn deep_chain_with_tiny_graph_limit() {
+fn deep_chain(len: i64) {
     let rt = Runtime::builder()
         .threads(2)
         .graph_size_limit(2)
         .build();
     let x = rt.data(0i64);
-    for _ in 0..2_000 {
+    for _ in 0..len {
         bump(&rt, &x);
     }
     rt.barrier();
-    assert_eq!(rt.read(&x), 2_000);
+    assert_eq!(rt.read(&x), len);
     assert!(rt.stats().throttle_blocks > 0);
+}
+
+#[test]
+fn ten_thousand_task_wave() {
+    task_wave(100, 100);
+}
+
+#[test]
+#[ignore = "heavy: ~100k tasks; run with `cargo test -- --ignored`"]
+fn hundred_thousand_task_wave() {
+    task_wave(1_000, 100);
+}
+
+#[test]
+fn deep_chain_with_tiny_graph_limit() {
+    deep_chain(2_000);
+}
+
+#[test]
+#[ignore = "heavy: 50k-deep dependency chain; run with `cargo test -- --ignored`"]
+fn very_deep_chain_with_tiny_graph_limit() {
+    deep_chain(50_000);
 }
 
 #[test]

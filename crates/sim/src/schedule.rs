@@ -127,7 +127,6 @@ impl Schedule {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::engine::simulate_with_schedule;
     use crate::graph::{chain, independent};
     use crate::machine::MachineConfig;

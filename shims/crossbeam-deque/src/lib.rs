@@ -1,0 +1,205 @@
+//! Minimal API-compatible stand-in for `crossbeam-deque` (no registry
+//! access in the build container). Same types and discipline —
+//! [`Worker`] deques with LIFO/FIFO owner pops, FIFO [`Stealer`]s, a
+//! FIFO [`Injector`] — implemented over `Mutex<VecDeque>` instead of the
+//! lock-free Chase-Lev deque. Semantically identical, slower under heavy
+//! contention; swap in the real crate when a registry is available.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+fn locked<T>(q: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    q.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Lifo,
+    Fifo,
+}
+
+/// The result of a steal attempt. The shim never needs to report
+/// [`Steal::Retry`], but callers match on it, so the variant exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Owner end of a per-thread deque. Pushes go to the back; the owner
+/// pops back (LIFO flavour) or front (FIFO flavour); thieves always take
+/// the front, i.e. the oldest task.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Lifo,
+        }
+    }
+
+    pub fn new_fifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+            flavor: Flavor::Fifo,
+        }
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = locked(&self.queue);
+        match self.flavor {
+            Flavor::Lifo => q.pop_back(),
+            Flavor::Fifo => q.pop_front(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// Thief end: steals the oldest task (FIFO), the Cilk-style "steal tasks
+/// as big as possible" order.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: Arc::clone(&self.queue),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+/// Shared FIFO injector queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        locked(&self.queue).push_back(task);
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match locked(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        locked(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        locked(&self.queue).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn fifo_worker_pops_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn injector_is_fifo_across_threads() {
+        let inj = std::sync::Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let mut out: Vec<i32> = Vec::new();
+        while let Steal::Success(v) = inj.steal() {
+            out.push(v);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

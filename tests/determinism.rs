@@ -1,0 +1,127 @@
+//! Scheduler-determinism guard: the same task program must produce the
+//! same results at `threads(1)` and `threads(8)`, run after run.
+//!
+//! The paper's §II contract is that dependency-scheduled parallel
+//! execution preserves *sequential* semantics. For same-object updates
+//! the analyser enforces program order, so even floating-point results
+//! are bitwise identical across thread counts — any divergence here is
+//! a scheduler or renaming regression, not numerical noise.
+
+use smpss::Runtime;
+use smpss_apps::cholesky;
+use smpss_apps::sort::{multisort, random_input, SortParams};
+use smpss_apps::FlatMatrix;
+use smpss_blas::Vendor;
+
+/// Fixed-seed xorshift so every run sees the identical task program.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// A 600-task integer program over 6 cells mixing every directionality
+/// the runtime analyses (input/output/inout), run on `threads` workers.
+fn run_mixed_program(threads: usize, renaming: bool) -> Vec<i64> {
+    const CELLS: usize = 6;
+    let rt = Runtime::builder()
+        .threads(threads)
+        .renaming(renaming)
+        .build();
+    let hs: Vec<_> = (0..CELLS).map(|i| rt.data(i as i64)).collect();
+    let mut rng = Rng(0x5eed_cafe);
+    for _ in 0..600 {
+        let a = (rng.next() % CELLS as u64) as usize;
+        let b = (rng.next() % CELLS as u64) as usize;
+        let dst = (rng.next() % CELLS as u64) as usize;
+        match rng.next() % 4 {
+            0 => {
+                let mut sp = rt.task("add");
+                let mut ra = sp.read(&hs[a]);
+                let mut rb = sp.read(&hs[b]);
+                let mut w = sp.write(&hs[dst]);
+                sp.submit(move || *w.get_mut() = ra.get().wrapping_add(*rb.get()));
+            }
+            1 => {
+                let mut sp = rt.task("acc");
+                let mut ra = sp.read(&hs[a]);
+                let mut w = sp.inout(&hs[dst]);
+                sp.submit(move || *w.get_mut() = w.get_mut().wrapping_add(*ra.get()));
+            }
+            2 => {
+                let k = rng.next() as i64 & 0xff;
+                let mut sp = rt.task("set");
+                let mut w = sp.write(&hs[dst]);
+                sp.submit(move || *w.get_mut() = k);
+            }
+            _ => {
+                let mut sp = rt.task("mut");
+                let mut w = sp.inout(&hs[dst]);
+                sp.submit(move || {
+                    let v = w.get_mut();
+                    *v = v.wrapping_mul(3).wrapping_add(1);
+                });
+            }
+        }
+    }
+    rt.barrier();
+    hs.iter().map(|h| rt.read(h)).collect()
+}
+
+#[test]
+fn mixed_program_single_vs_eight_threads() {
+    let baseline = run_mixed_program(1, true);
+    for _ in 0..3 {
+        assert_eq!(run_mixed_program(8, true), baseline);
+    }
+}
+
+#[test]
+fn mixed_program_deterministic_without_renaming() {
+    let baseline = run_mixed_program(1, false);
+    for _ in 0..3 {
+        assert_eq!(run_mixed_program(8, false), baseline);
+    }
+}
+
+#[test]
+fn cholesky_is_bitwise_deterministic_across_thread_counts() {
+    let n = 6;
+    let m = 4;
+    let spd = FlatMatrix::random_spd(n * m, 2024);
+    let factor = |threads: usize| {
+        let rt = Runtime::builder().threads(threads).build();
+        let mut a = spd.clone();
+        cholesky::cholesky_flat(&rt, &mut a, m, Vendor::Tuned);
+        a
+    };
+    let one = factor(1);
+    let eight = factor(8);
+    // Same-block updates are serialized in program order, so equality is
+    // exact — no tolerance.
+    assert_eq!(one.as_slice(), eight.as_slice());
+}
+
+#[test]
+fn multisort_single_vs_eight_threads() {
+    let input = random_input(20_000, 99);
+    let params = SortParams {
+        quick_size: 32,
+        merge_chunk: 64,
+    };
+    let sort_with = |threads: usize| {
+        let rt = Runtime::builder().threads(threads).build();
+        multisort(&rt, input.clone(), params)
+    };
+    let one = sort_with(1);
+    let eight = sort_with(8);
+    assert_eq!(one, eight);
+    let mut expect = input;
+    expect.sort_unstable();
+    assert_eq!(one, expect);
+}
