@@ -117,6 +117,10 @@ impl TaskCtx<'_> {
                 let n = self.shared.stealers.len();
                 for off in 1..n {
                     let victim = (self.index + off) % n;
+                    // `Retry` is a real outcome of the lock-free deque (a
+                    // lost CAS race): yield rather than hard-spin so the
+                    // winner can finish, which matters when threads
+                    // outnumber cores.
                     loop {
                         match self.shared.stealers[victim].steal() {
                             Steal::Success(t) => {
@@ -124,7 +128,7 @@ impl TaskCtx<'_> {
                                 return Some(t);
                             }
                             Steal::Empty => break,
-                            Steal::Retry => continue,
+                            Steal::Retry => std::thread::yield_now(),
                         }
                     }
                 }
@@ -134,7 +138,7 @@ impl TaskCtx<'_> {
                 match self.shared.central.steal() {
                     Steal::Success(t) => return Some(t),
                     Steal::Empty => return None,
-                    Steal::Retry => continue,
+                    Steal::Retry => std::thread::yield_now(),
                 }
             },
         }

@@ -1,0 +1,103 @@
+//! `perfsuite` — the mechanical perf trajectory runner.
+//!
+//! ```text
+//! cargo run --release -p smpss-bench --bin perfsuite              # full suite -> BENCH_0002.json
+//! cargo run --release -p smpss-bench --bin perfsuite -- --quick   # CI smoke sizes
+//! cargo run --release -p smpss-bench --bin perfsuite -- --out p.json
+//! cargo run --release -p smpss-bench --bin perfsuite -- --check BENCH_0002.json
+//! cargo run --release -p smpss-bench --bin perfsuite -- --emit-baseline
+//! ```
+//!
+//! `--check` validates an emitted file against the schema documented in
+//! DESIGN.md and exits non-zero on any structural problem (the CI job).
+//! `--emit-baseline` runs the suite and prints a `perf_baseline.rs`
+//! source freezing the measured rates — run it *before* a scheduler
+//! change to capture the comparison point the next trajectory file
+//! embeds.
+
+use std::process::ExitCode;
+
+use smpss_bench::perf::{self, JsonValue};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--check needs a file path");
+            return ExitCode::FAILURE;
+        };
+        return check(path);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let emit_baseline = args.iter().any(|a| a == "--emit-baseline");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| format!("{}.json", perf::BENCH_ID));
+
+    eprintln!(
+        "perfsuite: running {} suite on {} cpu(s)",
+        if quick { "quick" } else { "full" },
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let results = perf::run_suite(quick);
+
+    if emit_baseline {
+        print!(
+            "{}",
+            perf::emit_baseline_source(&results, &format!("captured for {}", perf::BENCH_ID))
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let doc = perf::suite_json(&results, quick);
+    if let Err(e) = perf::validate(&doc) {
+        eprintln!("perfsuite: emitted document failed self-validation: {}", e);
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, doc.render()) {
+        eprintln!("perfsuite: cannot write {}: {}", out, e);
+        return ExitCode::FAILURE;
+    }
+
+    println!("{:<28} {:>10} {:>12} {:>9}", "workload", "tasks", "tasks/sec", "vs base");
+    for r in &results {
+        let vs = perf::baseline_rate(&r.name)
+            .map(|b| format!("{:.2}x", r.tasks_per_sec / b))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<28} {:>10} {:>12.0} {:>9}",
+            r.name, r.tasks, r.tasks_per_sec, vs
+        );
+    }
+    println!("wrote {}", out);
+    ExitCode::SUCCESS
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfsuite --check: cannot read {}: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match JsonValue::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perfsuite --check: {} is not valid JSON: {}", path, e);
+            return ExitCode::FAILURE;
+        }
+    };
+    match perf::validate(&doc) {
+        Ok(()) => {
+            println!("{}: valid {} document", path, perf::SCHEMA);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perfsuite --check: {} invalid: {}", path, e);
+            ExitCode::FAILURE
+        }
+    }
+}

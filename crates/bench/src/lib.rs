@@ -18,6 +18,8 @@
 
 pub mod calibrate;
 pub mod dags;
+pub mod perf;
+pub mod perf_baseline;
 pub mod record;
 pub mod series;
 

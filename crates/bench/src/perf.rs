@@ -1,0 +1,807 @@
+//! The mechanical `BENCH_*.json` perf subsystem.
+//!
+//! DESIGN.md asked for a trajectory format so perf PRs can be compared
+//! mechanically; this module is that format plus the workloads that fill
+//! it. The [`perfsuite`](../bin/perfsuite.rs) binary runs
+//!
+//! 1. a **fine-grain task storm** — empty-body, zero-parameter tasks,
+//!    the purest measure of spawn/schedule/complete overhead — across
+//!    1/2/4/8 threads and both scheduler policies;
+//! 2. a **dependency chain** storm that pins the §III own-list (LIFO)
+//!    path, where every completion releases exactly one successor;
+//! 3. the **paper applications at structural scale** (tiny blocks:
+//!    graph shape depends only on block count), so the numbers track
+//!    end-to-end runtime behaviour, not just the microbench.
+//!
+//! Results are emitted as `BENCH_NNNN.json` in the schema documented in
+//! DESIGN.md ("Benchmark trajectory" section), embedding the frozen
+//! pre-PR baseline from [`perf_baseline`](crate::perf_baseline) so the
+//! speedup of the current tree over the last recorded point is a field
+//! in the file, not a by-hand diff.
+//!
+//! No `serde` in the offline container: [`JsonValue`] is a minimal
+//! writer/parser pair (objects, arrays, strings, finite numbers, bools,
+//! null) with tests, also used by `perfsuite --check` to validate an
+//! emitted file structurally in CI.
+
+use std::time::Instant;
+
+use smpss::config::SchedulerPolicy;
+use smpss::sched::TaskSource;
+use smpss::{Runtime, StatsSnapshot};
+use smpss_apps::sort::{multisort, random_input, SortParams};
+use smpss_apps::{cholesky, nqueens, strassen, FlatMatrix, HyperMatrix};
+use smpss_blas::Vendor;
+
+use crate::perf_baseline;
+
+/// Trajectory id this tree emits. Bump once per perf PR; the previous
+/// file stays in git history, and `baseline` inside the new file carries
+/// the comparison point forward.
+pub const BENCH_ID: &str = "BENCH_0002";
+
+/// Schema tag checked by `perfsuite --check`.
+pub const SCHEMA: &str = "smpss-bench/1";
+
+/// Structural block dimension for the app workloads (see
+/// [`crate::record::STRUCT_M`]: shape depends only on block count).
+const STRUCT_M: usize = 2;
+
+// ---------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------
+
+/// A minimal JSON document: enough to write and re-validate the bench
+/// trajectory without a registry dependency.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => {
+                assert!(n.is_finite(), "non-finite number in bench JSON");
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{}", n));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(depth + 1));
+                    JsonValue::Str(k.clone()).write(out, depth + 1);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(depth));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (strict enough for round-tripping what
+    /// [`render`](Self::render) writes, plus ordinary hand-edits).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {}", pos));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character.
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {}", start))
+}
+
+// ---------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------
+
+/// One measured workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Stable key, e.g. `task_storm/t8/smpss` — baselines join on this.
+    pub name: String,
+    pub threads: usize,
+    /// Tasks executed by the run (denominator of `tasks_per_sec`).
+    pub tasks: u64,
+    /// Best wall-clock seconds over `reps` repetitions.
+    pub secs: f64,
+    pub tasks_per_sec: f64,
+    /// Runtime counters of the best repetition.
+    pub counters: StatsSnapshot,
+}
+
+fn policy_key(policy: SchedulerPolicy) -> &'static str {
+    match policy {
+        SchedulerPolicy::Smpss => "smpss",
+        SchedulerPolicy::CentralQueue => "central",
+    }
+}
+
+/// Run `f` `reps` times; keep the fastest repetition (1-CPU CI hosts are
+/// noisy, and the minimum is the least-perturbed estimate of the cost).
+fn best_of(reps: usize, mut f: impl FnMut() -> (f64, u64, StatsSnapshot)) -> (f64, u64, StatsSnapshot) {
+    let mut best: Option<(f64, u64, StatsSnapshot)> = None;
+    for _ in 0..reps.max(1) {
+        let r = f();
+        if best.as_ref().is_none_or(|b| r.0 < b.0) {
+            best = Some(r);
+        }
+    }
+    best.unwrap()
+}
+
+/// Empty-body, zero-parameter task storm: every task is born ready and
+/// goes through the main list (or the central queue), so the measured
+/// rate is the spawn + enqueue + dequeue + complete overhead alone.
+pub fn task_storm(
+    threads: usize,
+    policy: SchedulerPolicy,
+    tasks: u64,
+    reps: usize,
+) -> WorkloadResult {
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).policy(policy).build();
+        let t0 = Instant::now();
+        for _ in 0..tasks {
+            rt.task("storm").submit(|| {});
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("task_storm/t{}/{}", threads, policy_key(policy)),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// A single dependency chain of `inout` bumps: each completion releases
+/// exactly one successor onto the finishing thread's own list, pinning
+/// the §III LIFO own-list path (own_pops must dominate).
+pub fn task_chain(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).build();
+        let x = rt.data(0u64);
+        let t0 = Instant::now();
+        for _ in 0..tasks {
+            let mut sp = rt.task("chain");
+            let mut w = sp.inout(&x);
+            sp.submit(move || *w.get_mut() += 1);
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        assert_eq!(rt.read(&x), tasks);
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("task_chain/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Blocked hyper-matrix Cholesky at structural scale, `n` blocks.
+pub fn app_cholesky(threads: usize, n: usize, reps: usize) -> WorkloadResult {
+    let spd = FlatMatrix::random_spd(n * STRUCT_M, 11);
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).build();
+        let a = HyperMatrix::from_flat(&rt, &spd, STRUCT_M);
+        let t0 = Instant::now();
+        cholesky::cholesky_hyper(&rt, &a, Vendor::Tuned);
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("cholesky_hyper/n{}/t{}", n, threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Strassen at structural scale (`n` blocks per side, cutoff 1): the
+/// paper's intensive-renaming workload.
+pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
+    let af = FlatMatrix::random(n * STRUCT_M, 15);
+    let bf = FlatMatrix::random(n * STRUCT_M, 16);
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).build();
+        let a = HyperMatrix::from_flat(&rt, &af, STRUCT_M);
+        let b = HyperMatrix::from_flat(&rt, &bf, STRUCT_M);
+        let c = HyperMatrix::dense_zeros(&rt, n, STRUCT_M);
+        let t0 = Instant::now();
+        strassen::strassen(&rt, &a, &b, &c, Vendor::Tuned, 1);
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("strassen/n{}/t{}", n, threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Multisort over `n` elements (§VI.D); element count is structural.
+pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
+    let input = random_input(n, 17);
+    let params = SortParams {
+        quick_size: 256,
+        merge_chunk: 256,
+    };
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).build();
+        let t0 = Instant::now();
+        let sorted = multisort(&rt, input.clone(), params);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("multisort/n{}/t{}", n, threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// N Queens with `levels` task levels (§VI.E).
+pub fn app_nqueens(threads: usize, n: usize, levels: usize, reps: usize) -> WorkloadResult {
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(threads).build();
+        let t0 = Instant::now();
+        let _count = nqueens::nqueens_smpss(&rt, n, levels);
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("nqueens/n{}l{}/t{}", n, levels, threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suite assembly and emission
+// ---------------------------------------------------------------------
+
+/// Thread counts the storm sweeps (full mode).
+pub const STORM_THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Run the whole suite. `quick` shrinks sizes so CI can validate the
+/// harness in seconds; the committed trajectory point is a full run.
+pub fn run_suite(quick: bool) -> Vec<WorkloadResult> {
+    // Best-of-N on a shared 1-CPU CI host needs several repetitions for
+    // the minimum to converge; quick mode trades that for speed.
+    let (storm_tasks, chain_tasks, reps) = if quick { (3_000, 1_500, 1) } else { (30_000, 10_000, 7) };
+    let storm_threads: &[usize] = if quick { &[1, 8] } else { STORM_THREADS };
+    let mut results = Vec::new();
+    for &t in storm_threads {
+        for policy in [SchedulerPolicy::Smpss, SchedulerPolicy::CentralQueue] {
+            eprintln!("  task_storm t={} {}", t, policy_key(policy));
+            results.push(task_storm(t, policy, storm_tasks, reps));
+        }
+    }
+    for &t in if quick { &[8usize] as &[usize] } else { &[1usize, 8] as &[usize] } {
+        eprintln!("  task_chain t={}", t);
+        results.push(task_chain(t, chain_tasks, reps));
+    }
+    if quick {
+        eprintln!("  apps (quick)");
+        results.push(app_cholesky(8, 6, 1));
+        results.push(app_multisort(8, 20_000, 1));
+        results.push(app_nqueens(8, 7, 2, 1));
+    } else {
+        eprintln!("  apps (structural scale)");
+        results.push(app_cholesky(8, 14, 2));
+        results.push(app_strassen(8, 4, 2));
+        results.push(app_multisort(8, 120_000, 2));
+        results.push(app_nqueens(8, 9, 3, 2));
+    }
+    results
+}
+
+fn counters_json(c: &StatsSnapshot) -> JsonValue {
+    JsonValue::Obj(vec![
+        ("tasks_spawned".into(), JsonValue::Num(c.tasks_spawned as f64)),
+        ("tasks_executed".into(), JsonValue::Num(c.tasks_executed as f64)),
+        ("true_edges".into(), JsonValue::Num(c.true_edges as f64)),
+        ("renames".into(), JsonValue::Num(c.renames as f64)),
+        ("own_pops".into(), JsonValue::Num(c.source_pops(TaskSource::OwnList) as f64)),
+        ("main_pops".into(), JsonValue::Num(c.source_pops(TaskSource::MainList) as f64)),
+        ("hp_pops".into(), JsonValue::Num(c.source_pops(TaskSource::HighPriority) as f64)),
+        ("steals".into(), JsonValue::Num(c.source_pops(TaskSource::Stolen { victim: 0 }) as f64)),
+    ])
+}
+
+/// The speedup field the acceptance gate reads: current tasks/sec over
+/// the frozen baseline for the same workload key, if recorded.
+pub fn baseline_rate(name: &str) -> Option<f64> {
+    perf_baseline::BASELINE
+        .iter()
+        .find(|(k, _)| *k == name)
+        .map(|(_, rate)| *rate)
+}
+
+/// Assemble the whole trajectory document.
+pub fn suite_json(results: &[WorkloadResult], quick: bool) -> JsonValue {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let host = JsonValue::Obj(vec![
+        ("os".into(), JsonValue::Str(std::env::consts::OS.into())),
+        ("arch".into(), JsonValue::Str(std::env::consts::ARCH.into())),
+        (
+            "cpus".into(),
+            JsonValue::Num(
+                std::thread::available_parallelism().map_or(1, |n| n.get()) as f64,
+            ),
+        ),
+    ]);
+    let workloads = JsonValue::Arr(
+        results
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("name".into(), JsonValue::Str(r.name.clone())),
+                    ("threads".into(), JsonValue::Num(r.threads as f64)),
+                    ("tasks".into(), JsonValue::Num(r.tasks as f64)),
+                    ("secs".into(), JsonValue::Num(r.secs)),
+                    ("tasks_per_sec".into(), JsonValue::Num(r.tasks_per_sec)),
+                    ("counters".into(), counters_json(&r.counters)),
+                ];
+                if let Some(base) = baseline_rate(&r.name) {
+                    fields.push((
+                        "speedup_vs_baseline".into(),
+                        JsonValue::Num(r.tasks_per_sec / base),
+                    ));
+                }
+                JsonValue::Obj(fields)
+            })
+            .collect(),
+    );
+    let baseline = JsonValue::Obj(vec![
+        ("id".into(), JsonValue::Str(perf_baseline::BASELINE_ID.into())),
+        ("host".into(), JsonValue::Str(perf_baseline::BASELINE_HOST.into())),
+        (
+            "workloads".into(),
+            JsonValue::Arr(
+                perf_baseline::BASELINE
+                    .iter()
+                    .map(|(name, rate)| {
+                        JsonValue::Obj(vec![
+                            ("name".into(), JsonValue::Str((*name).into())),
+                            ("tasks_per_sec".into(), JsonValue::Num(*rate)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::Str(SCHEMA.into())),
+        ("bench_id".into(), JsonValue::Str(BENCH_ID.into())),
+        ("created_unix".into(), JsonValue::Num(created as f64)),
+        ("quick".into(), JsonValue::Bool(quick)),
+        ("host".into(), host),
+        ("workloads".into(), workloads),
+        ("baseline".into(), baseline),
+    ])
+}
+
+/// Structural validation of an emitted trajectory file — what
+/// `perfsuite --check` (and the CI job) runs, so a broken harness fails
+/// the build instead of rotting.
+pub fn validate(doc: &JsonValue) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != SCHEMA {
+        return Err(format!("schema {:?}, expected {:?}", schema, SCHEMA));
+    }
+    let id = doc
+        .get("bench_id")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing \"bench_id\"")?;
+    if !id.starts_with("BENCH_") || id.len() != 10 || !id[6..].bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("bench_id {:?} does not match BENCH_NNNN", id));
+    }
+    let host = doc.get("host").ok_or("missing \"host\"")?;
+    if host.get("cpus").and_then(JsonValue::as_f64).unwrap_or(0.0) < 1.0 {
+        return Err("host.cpus must be >= 1".into());
+    }
+    let workloads = doc
+        .get("workloads")
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing \"workloads\" array")?;
+    if workloads.is_empty() {
+        return Err("workloads array is empty".into());
+    }
+    for w in workloads {
+        let name = w
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("workload missing \"name\"")?;
+        for key in ["threads", "tasks", "secs", "tasks_per_sec"] {
+            let v = w
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("workload {:?} missing numeric {:?}", name, key))?;
+            if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                return Err(format!("workload {:?}: {:?} must be positive", name, key));
+            }
+        }
+        let counters = w
+            .get("counters")
+            .ok_or_else(|| format!("workload {:?} missing counters", name))?;
+        for key in ["tasks_executed", "own_pops", "main_pops", "hp_pops", "steals"] {
+            counters
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("workload {:?} counters missing {:?}", name, key))?;
+        }
+    }
+    let baseline = doc.get("baseline").ok_or("missing \"baseline\"")?;
+    baseline
+        .get("workloads")
+        .and_then(JsonValue::as_arr)
+        .ok_or("baseline missing \"workloads\" array")?;
+    Ok(())
+}
+
+/// Render the `perf_baseline.rs` source for the current results —
+/// how the frozen baseline in this repo was captured (run the suite on
+/// the old scheduler, pipe `--emit-baseline` into the file, swap shims).
+pub fn emit_baseline_source(results: &[WorkloadResult], id: &str) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "//! Frozen perf baseline embedded into every emitted `BENCH_*.json`.\n\
+         //!\n\
+         //! Generated by `perfsuite --emit-baseline` on the scheduler this\n\
+         //! trajectory point compares against; do not edit by hand.\n\n",
+    );
+    out.push_str(&format!("pub const BASELINE_ID: &str = {:?};\n\n", id));
+    out.push_str(&format!(
+        "pub const BASELINE_HOST: &str = \"{}/{} {} cpu\";\n\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    ));
+    out.push_str("/// `(workload key, tasks per second)`.\n");
+    out.push_str("pub const BASELINE: &[(&str, f64)] = &[\n");
+    for r in results {
+        out.push_str(&format!("    ({:?}, {:.1}),\n", r.name, r.tasks_per_sec));
+    }
+    out.push_str("];\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip() {
+        let doc = JsonValue::Obj(vec![
+            ("s".into(), JsonValue::Str("a\"b\\c\nd".into())),
+            ("n".into(), JsonValue::Num(1234.5)),
+            ("i".into(), JsonValue::Num(77.0)),
+            ("b".into(), JsonValue::Bool(true)),
+            ("z".into(), JsonValue::Null),
+            (
+                "a".into(),
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Str("x".into())]),
+            ),
+            ("e".into(), JsonValue::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        let back = JsonValue::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("[1, 2,]").is_err());
+        assert!(JsonValue::parse("{}extra").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn quick_suite_emits_valid_document() {
+        // The real CI gate runs the binary; this keeps the property
+        // testable in-process with tiny sizes.
+        let results = vec![
+            task_storm(2, SchedulerPolicy::Smpss, 200, 1),
+            task_chain(1, 100, 1),
+        ];
+        let doc = suite_json(&results, true);
+        validate(&doc).unwrap();
+        let text = doc.render();
+        let back = JsonValue::parse(&text).unwrap();
+        validate(&back).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let results = vec![task_chain(1, 50, 1)];
+        let mut doc = suite_json(&results, true);
+        if let JsonValue::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = JsonValue::Str("bogus/9".into());
+                }
+            }
+        }
+        assert!(validate(&doc).is_err());
+        assert!(validate(&JsonValue::Obj(vec![])).is_err());
+    }
+
+    #[test]
+    fn storm_counts_every_task_exactly_once() {
+        let r = task_storm(4, SchedulerPolicy::Smpss, 500, 1);
+        assert_eq!(r.tasks, 500);
+        assert_eq!(r.counters.total_pops(), 500);
+    }
+}

@@ -9,5 +9,5 @@
 pub mod node;
 pub mod record;
 
-pub use node::{NodeSync, TaskNode};
+pub use node::TaskNode;
 pub use record::{EdgeKind, GraphRecord, NodeInfo};

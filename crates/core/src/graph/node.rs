@@ -6,11 +6,26 @@
 //! every unfinished producer it links; submitting the task decrements the
 //! guard. The task is ready exactly when `deps` reaches zero, which closes
 //! the race between dependency discovery and concurrent completions.
+//!
+//! The node carries **no mutex**. The two pieces of shared mutable state
+//! use one-shot atomic protocols instead:
+//!
+//! - the **body** lives in an [`UnsafeCell`] slot whose unique consumer
+//!   is picked by the `PENDING -> RUNNING` state CAS in
+//!   [`take_body`](TaskNode::take_body) (installation happens-before any
+//!   consumer via the readiness release on `deps` and the ready-queue
+//!   hand-off);
+//! - the **successor list** is a lock-free linked stack
+//!   ([`add_successor`](TaskNode::add_successor) pushes with CAS) that
+//!   [`complete`](TaskNode::complete) closes with a swap to a sentinel,
+//!   so completion publishes successors without ever blocking the
+//!   spawning thread, and enqueueing happens outside any critical
+//!   section.
 
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use crate::ids::TaskId;
 use crate::runtime::Priority;
@@ -22,11 +37,16 @@ const STATE_PENDING: u8 = 0;
 const STATE_RUNNING: u8 = 1;
 const STATE_FINISHED: u8 = 2;
 
-/// Successor bookkeeping, guarded by a mutex so that edge insertion (by the
-/// spawning thread) and completion (by a worker) serialise per node.
-pub struct NodeSync {
-    finished: bool,
-    succs: Vec<Arc<TaskNode>>,
+/// One link of the lock-free successor list.
+struct SuccNode {
+    succ: Arc<TaskNode>,
+    next: *mut SuccNode,
+}
+
+/// Sentinel meaning "the producer finished; the list is closed". Never
+/// dereferenced.
+fn closed() -> *mut SuccNode {
+    usize::MAX as *mut SuccNode
 }
 
 /// One task instance in the dynamic graph.
@@ -37,9 +57,19 @@ pub struct TaskNode {
     /// Outstanding dependencies + the spawn guard.
     pub(crate) deps: AtomicUsize,
     pub(crate) state: AtomicU8,
-    pub(crate) body: Mutex<Option<TaskBody>>,
-    pub(crate) sync: Mutex<NodeSync>,
+    /// One-shot body slot; see the module docs for the access protocol.
+    body: UnsafeCell<Option<TaskBody>>,
+    /// Head of the successor stack, or [`closed`] once finished.
+    succs: AtomicPtr<SuccNode>,
 }
+
+// SAFETY: `body` is written once by the spawning thread before the spawn
+// guard is released (a Release operation every consumer Acquires through
+// the readiness protocol), and consumed by exactly one thread, selected
+// by the `take_body` state CAS. `succs` is only ever touched through
+// atomic operations. Everything else is atomics or immutable.
+unsafe impl Send for TaskNode {}
+unsafe impl Sync for TaskNode {}
 
 impl TaskNode {
     pub(crate) fn new(id: TaskId, name: &'static str, priority: Priority) -> Arc<Self> {
@@ -49,11 +79,8 @@ impl TaskNode {
             high: AtomicBool::new(priority == Priority::High),
             deps: AtomicUsize::new(1), // spawn guard
             state: AtomicU8::new(STATE_PENDING),
-            body: Mutex::new(None),
-            sync: Mutex::new(NodeSync {
-                finished: false,
-                succs: Vec::new(),
-            }),
+            body: UnsafeCell::new(None),
+            succs: AtomicPtr::new(ptr::null_mut()),
         })
     }
 
@@ -89,12 +116,33 @@ impl TaskNode {
     /// dependency on `succ`. Returns `false` if `self` already finished, in
     /// which case the data is already produced and no edge is needed.
     pub(crate) fn add_successor(&self, succ: &Arc<TaskNode>) -> bool {
-        let mut sync = self.sync.lock();
-        if sync.finished {
-            false
-        } else {
-            sync.succs.push(Arc::clone(succ));
-            true
+        let mut head = self.succs.load(Ordering::Acquire);
+        if head == closed() {
+            return false;
+        }
+        let node = Box::into_raw(Box::new(SuccNode {
+            succ: Arc::clone(succ),
+            next: head,
+        }));
+        loop {
+            match self.succs.compare_exchange_weak(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(h) if h == closed() => {
+                    // Producer completed between our load and the CAS.
+                    // SAFETY: the node never became reachable.
+                    unsafe { drop(Box::from_raw(node)) };
+                    return false;
+                }
+                Err(h) => {
+                    head = h;
+                    unsafe { (*node).next = head };
+                }
+            }
         }
     }
 
@@ -111,38 +159,92 @@ impl TaskNode {
 
     /// Install the body. Must happen before the spawn guard is released.
     pub(crate) fn install_body(&self, body: TaskBody) {
-        let mut slot = self.body.lock();
+        // SAFETY: called once, by the spawning thread, before the spawn
+        // guard is released — no other thread can reach the slot yet.
+        let slot = unsafe { &mut *self.body.get() };
         debug_assert!(slot.is_none(), "body installed twice for {:?}", self.id);
         *slot = Some(body);
     }
 
-    /// Take the body for execution; panics if the node is not ready or the
-    /// body was already taken (i.e. a scheduling bug).
+    /// Take the body for execution. The `PENDING -> RUNNING` CAS selects
+    /// exactly one consumer; a second scheduling of the same job (a
+    /// scheduler bug) loses the CAS and panics *before* touching the
+    /// slot, so the tripwire the old mutex provided stays a clean panic
+    /// rather than a data race.
     pub(crate) fn take_body(&self) -> TaskBody {
-        self.state.store(STATE_RUNNING, Ordering::Relaxed);
-        self.body
-            .lock()
-            .take()
+        if self
+            .state
+            .compare_exchange(
+                STATE_PENDING,
+                STATE_RUNNING,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            panic!("task {:?} ({}) scheduled twice", self.id, self.name);
+        }
+        // SAFETY: the CAS above makes this thread the slot's unique
+        // consumer; installation happened-before readiness (deps release
+        // / queue hand-off).
+        unsafe { (*self.body.get()).take() }
             .unwrap_or_else(|| panic!("task {:?} ({}) scheduled twice", self.id, self.name))
     }
 
-    /// Mark the task finished and collect the successors that just became
-    /// ready. Successor `Arc`s not returned are dropped here, so finished
-    /// chains do not keep the whole graph alive.
-    pub(crate) fn complete(&self) -> Vec<Arc<TaskNode>> {
-        let succs = {
-            let mut sync = self.sync.lock();
-            sync.finished = true;
-            std::mem::take(&mut sync.succs)
-        };
+    /// Mark the task finished, release one dependency of every registered
+    /// successor **in registration order**, and call `on_ready` for each
+    /// successor that just became ready. Returns how many became ready.
+    ///
+    /// The list is detached with a single swap, so successors are handed
+    /// off without any critical section; `on_ready` typically enqueues,
+    /// and may do so freely. Successor `Arc`s that did not become ready
+    /// are dropped here, so finished chains do not keep the whole graph
+    /// alive.
+    pub(crate) fn complete(&self, mut on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
+        let head = self.succs.swap(closed(), Ordering::AcqRel);
         self.state.store(STATE_FINISHED, Ordering::Release);
-        let mut ready = Vec::new();
-        for s in succs {
-            if s.release_dep() {
-                ready.push(s);
+        // The stack is LIFO; reverse it so release order matches
+        // registration (program) order — the order the scheduler-policy
+        // and determinism tests pin.
+        let mut rev: *mut SuccNode = ptr::null_mut();
+        let mut p = head;
+        while !p.is_null() {
+            // SAFETY: the swap made this thread the list's unique owner.
+            unsafe {
+                let next = (*p).next;
+                (*p).next = rev;
+                rev = p;
+                p = next;
             }
         }
-        ready
+        let mut n_ready = 0;
+        let mut p = rev;
+        while !p.is_null() {
+            // SAFETY: as above; each link is freed exactly once.
+            let link = unsafe { Box::from_raw(p) };
+            p = link.next;
+            if link.succ.release_dep() {
+                n_ready += 1;
+                on_ready(link.succ);
+            }
+        }
+        n_ready
+    }
+}
+
+impl Drop for TaskNode {
+    fn drop(&mut self) {
+        // A node dropped before completing (runtime teardown mid-flight)
+        // still owns its successor links.
+        let head = *self.succs.get_mut();
+        if head != closed() {
+            let mut p = head;
+            while !p.is_null() {
+                // SAFETY: exclusive access in Drop.
+                let link = unsafe { Box::from_raw(p) };
+                p = link.next;
+            }
+        }
     }
 }
 
@@ -165,6 +267,13 @@ mod tests {
         TaskNode::new(TaskId(id), "t", Priority::Normal)
     }
 
+    fn complete_collect(n: &TaskNode) -> Vec<Arc<TaskNode>> {
+        let mut ready = Vec::new();
+        let count = n.complete(|s| ready.push(s));
+        assert_eq!(count, ready.len());
+        ready
+    }
+
     #[test]
     fn guard_protocol() {
         let n = node(1);
@@ -185,7 +294,7 @@ mod tests {
         assert!(!s.release_dep()); // guard release: still 1 outstanding
         p.install_body(Box::new(|| {}));
         let _ = p.take_body();
-        let ready = p.complete();
+        let ready = complete_collect(&p);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].id(), TaskId(2));
     }
@@ -195,10 +304,24 @@ mod tests {
         let p = node(1);
         p.install_body(Box::new(|| {}));
         let _ = p.take_body();
-        let _ = p.complete();
+        let _ = complete_collect(&p);
         let s = node(2);
         assert!(!p.add_successor(&s));
         assert!(s.release_dep()); // only the guard was held
+    }
+
+    #[test]
+    fn successors_release_in_registration_order() {
+        let p = node(1);
+        let kids: Vec<_> = (2..7).map(node).collect();
+        for k in &kids {
+            assert!(p.add_successor(k));
+            k.retain_dep();
+            assert!(!k.release_dep()); // release the spawn guard
+        }
+        let ready = complete_collect(&p);
+        let ids: Vec<_> = ready.iter().map(|n| n.id().0).collect();
+        assert_eq!(ids, vec![2, 3, 4, 5, 6], "registration order must hold");
     }
 
     #[test]
@@ -209,8 +332,21 @@ mod tests {
         s.retain_dep();
         let before = Arc::strong_count(&s);
         assert_eq!(before, 2);
-        let ready = p.complete();
+        let ready = complete_collect(&p);
         drop(ready);
+        assert_eq!(Arc::strong_count(&s), 1);
+    }
+
+    #[test]
+    fn drop_without_complete_frees_links() {
+        let s = node(2);
+        {
+            let p = node(1);
+            assert!(p.add_successor(&s));
+            s.retain_dep();
+            assert_eq!(Arc::strong_count(&s), 2);
+            // p dropped here without completing.
+        }
         assert_eq!(Arc::strong_count(&s), 1);
     }
 

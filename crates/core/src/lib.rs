@@ -73,5 +73,6 @@ pub use graph::record::GraphRecord;
 pub use ids::{ObjectId, TaskId};
 pub use runtime::spawner::TaskSpawner;
 pub use runtime::{Priority, Runtime};
+pub use sched::TaskSource;
 pub use stats::StatsSnapshot;
 pub use trace::{Event, EventKind, Trace};

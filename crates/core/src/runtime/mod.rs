@@ -38,6 +38,9 @@ pub struct Shared {
     pub(crate) stats: Stats,
     /// Global high-priority ready list (FIFO).
     pub(crate) hp: Injector<Job>,
+    /// Latches true on the first high-priority enqueue; lets `find_task`
+    /// skip the HP probe for programs that never use priorities.
+    pub(crate) hp_used: AtomicBool,
     /// The main ready list (FIFO): "a point of distribution of tasks in
     /// areas of the graph that are not being explored".
     pub(crate) main_q: Injector<Job>,
@@ -72,6 +75,17 @@ impl Shared {
 /// of the paper's execution model: it runs the (sequential-looking) main
 /// program, performs all dependency analysis, and helps execute tasks when
 /// it blocks on a barrier or on the graph-size limit.
+///
+/// `Runtime` is deliberately `!Sync` (one main program thread, as in the
+/// paper): several single-writer fast paths — task/object id generation
+/// and the analyser-side stats counters — rely on spawning being pinned
+/// to one thread. This doctest pins the invariant at compile time; if it
+/// ever starts compiling, those paths must go back to atomic RMW first:
+///
+/// ```compile_fail
+/// fn require_sync<T: Sync>() {}
+/// require_sync::<smpss::Runtime>();
+/// ```
 pub struct Runtime {
     pub(crate) shared: Arc<Shared>,
     /// The main thread's own ready list (thread index 0).
@@ -94,8 +108,9 @@ impl Runtime {
             graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
             tracer: cfg.tracing.then(|| TraceCollector::new(n)),
             cfg,
-            stats: Stats::default(),
+            stats: Stats::new(n),
             hp: Injector::new(),
+            hp_used: AtomicBool::new(false),
             main_q: Injector::new(),
             central: Injector::new(),
             stealers,
@@ -163,7 +178,9 @@ impl Runtime {
         version_bytes: usize,
         alloc: impl Fn() -> T + Send + Sync + 'static,
     ) -> Handle<T> {
-        let id = ObjectId(self.shared.next_obj.fetch_add(1, Ordering::Relaxed) + 1);
+        let next = self.shared.next_obj.load(Ordering::Relaxed) + 1;
+        self.shared.next_obj.store(next, Ordering::Relaxed);
+        let id = ObjectId(next);
         Handle {
             obj: Arc::new(DataObject::new(
                 id,
@@ -195,7 +212,9 @@ impl Runtime {
     /// });
     /// ```
     pub fn region_data<T: RegionData>(&self, value: T) -> RegionHandle<T> {
-        let id = ObjectId(self.shared.next_obj.fetch_add(1, Ordering::Relaxed) + 1);
+        let next = self.shared.next_obj.load(Ordering::Relaxed) + 1;
+        self.shared.next_obj.store(next, Ordering::Relaxed);
+        let id = ObjectId(next);
         RegionHandle {
             obj: Arc::new(RegionObject::new(id, value)),
         }

@@ -32,11 +32,21 @@ pub struct TaskSpawner<'rt> {
     rt: &'rt Runtime,
     node: Arc<TaskNode>,
     submitted: bool,
+    /// Edges on which a producer retained an `Arc` to this node (i.e.
+    /// `add_successor` succeeded). While this is zero, no other thread
+    /// can reach the node, which lets `submit` skip the dependency-release
+    /// RMW for born-ready tasks. (`Cell`: the analyser links through
+    /// `&TaskSpawner`.)
+    counted_edges: std::cell::Cell<usize>,
 }
 
 impl<'rt> TaskSpawner<'rt> {
     pub(crate) fn new(rt: &'rt Runtime, name: &'static str) -> Self {
-        let id = TaskId(rt.shared.next_task.fetch_add(1, Ordering::Relaxed) + 1);
+        // Single writer (`Runtime: !Sync` pins spawning to one thread):
+        // load+store avoids a locked RMW per task.
+        let next = rt.shared.next_task.load(Ordering::Relaxed) + 1;
+        rt.shared.next_task.store(next, Ordering::Relaxed);
+        let id = TaskId(next);
         let node = TaskNode::new(id, name, crate::runtime::Priority::Normal);
         rt.shared.live.fetch_add(1, Ordering::AcqRel);
         rt.shared.stats.tasks_spawned();
@@ -51,6 +61,7 @@ impl<'rt> TaskSpawner<'rt> {
             rt,
             node,
             submitted: false,
+            counted_edges: std::cell::Cell::new(0),
         }
     }
 
@@ -123,7 +134,13 @@ impl<'rt> TaskSpawner<'rt> {
         self.rt.shared.trace_event(0, EventKind::Spawn(self.node.id()));
         self.submitted = true;
         let node = Arc::clone(&self.node);
-        if node.release_dep() {
+        if self.counted_edges.get() == 0 {
+            // Born ready, and no producer ever retained an Arc to this
+            // node, so no other thread can touch `deps`: settle the
+            // counter with a plain store and skip the release RMW.
+            node.deps.store(0, Ordering::Relaxed);
+            enqueue_ready(&self.rt.shared, None, node);
+        } else if node.release_dep() {
             enqueue_ready(&self.rt.shared, None, node);
         }
         self.rt.throttle();
@@ -168,7 +185,9 @@ impl<'rt> TaskSpawner<'rt> {
         // place (otherwise the task could be released twice — once by the
         // uncounted completion, once by the spawn guard).
         self.node.retain_dep();
-        if !producer.add_successor(&self.node) {
+        if producer.add_successor(&self.node) {
+            self.counted_edges.set(self.counted_edges.get() + 1);
+        } else {
             // Producer already finished: undo. The spawn guard is still
             // held, so this can never release the task.
             let became_ready = self.node.release_dep();

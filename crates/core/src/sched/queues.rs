@@ -22,31 +22,94 @@ pub enum TaskSource {
     Stolen { victim: usize },
 }
 
-/// Drain one job from an injector, absorbing `Steal::Retry`.
-pub(crate) fn pop_injector(inj: &Injector<Job>) -> Option<Job> {
-    loop {
-        match inj.steal() {
-            Steal::Success(job) => return Some(job),
-            Steal::Empty => return None,
-            Steal::Retry => continue,
+/// Exponential backoff for `Steal::Retry` loops. A `Retry` means a
+/// concurrent operation won a race this very instant, so the contended
+/// line is hot: spin a doubling number of pause hints, then start
+/// yielding the core (which matters when threads outnumber CPUs).
+///
+/// Deliberately duplicates the private `Backoff` inside the
+/// crossbeam-deque shim rather than importing it: the real
+/// crossbeam-deque exports no such type (upstream it lives in
+/// `crossbeam_utils`), and the shim must stay swappable for the
+/// registry crate by editing only the manifest layer.
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 5;
+
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    pub(crate) fn snooze(&mut self) {
+        if self.step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
         }
     }
 }
 
-/// Steal one job from another thread's deque, absorbing `Steal::Retry`.
+/// Drain one job from an injector, absorbing `Steal::Retry` with
+/// exponential backoff. The lock-free injector's empty check is a pair
+/// of plain loads — much cheaper than a steal attempt (which issues a
+/// full fence) — so probe it first: `find_task` polls mostly-empty
+/// queues (the high-priority list above all) on every lookup.
+pub(crate) fn pop_injector(inj: &Injector<Job>) -> Option<Job> {
+    if inj.is_empty() {
+        return None;
+    }
+    let mut backoff = Backoff::new();
+    loop {
+        match inj.steal() {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => return None,
+            Steal::Retry => backoff.snooze(),
+        }
+    }
+}
+
+/// Steal one job from another thread's deque, absorbing `Steal::Retry`
+/// with exponential backoff (same empty-probe-first shape as
+/// [`pop_injector`]).
 pub(crate) fn steal_from(stealer: &Stealer<Job>) -> Option<Job> {
+    if stealer.is_empty() {
+        return None;
+    }
+    let mut backoff = Backoff::new();
     loop {
         match stealer.steal() {
             Steal::Success(job) => return Some(job),
             Steal::Empty => return None,
-            Steal::Retry => continue,
+            Steal::Retry => backoff.snooze(),
         }
     }
 }
 
 /// Idle-thread parking. Workers that repeatedly find no work park on the
-/// condvar with a timeout; every enqueue wakes one sleeper. The timeout
-/// bounds the staleness of any lost wakeup, so the scheduler cannot hang.
+/// condvar with a timeout; every enqueue wakes one sleeper.
+///
+/// Wakeup protocol: `sleepers` is incremented **under the lock** before
+/// waiting and a notifier that observes `sleepers > 0` takes the same
+/// lock before notifying, so a notify cannot slip between a parker's
+/// registration and its wait. The one remaining window is inherent to
+/// the design: a worker's last queue scan can miss a job pushed right
+/// after the scan but before the worker registers as a sleeper, while
+/// the notifier's `sleepers` load returns 0. That stale miss is bounded
+/// by the park timeout (`RuntimeConfig::park_micros`, default 100µs):
+/// the worker re-scans at most one timeout later, so the scheduler can
+/// stall but never hang.
+///
+/// Orderings: Acquire/Release suffice. The notifier's Release increment
+/// of queue state happens before its Acquire load of `sleepers`; the
+/// parker's Release increment of `sleepers` (under the lock) pairs with
+/// it. No ordering between two unrelated wakeups is needed, so SeqCst
+/// buys nothing here.
 pub struct SleepCtl {
     lock: Mutex<()>,
     cv: Condvar,
@@ -66,16 +129,20 @@ impl Default for SleepCtl {
 impl SleepCtl {
     /// Park the calling thread for at most `timeout`.
     pub fn park(&self, timeout: Duration) {
-        self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut guard = self.lock.lock();
+        // Registered under the lock: a notifier that sees this count
+        // holds the lock before notifying, so it cannot fire before the
+        // wait below starts.
+        self.sleepers.fetch_add(1, Ordering::Release);
         self.cv.wait_for(&mut guard, timeout);
+        self.sleepers.fetch_sub(1, Ordering::Release);
         drop(guard);
-        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Wake one parked thread, if any.
+    /// Wake one parked thread, if any. The unlocked fast path is a
+    /// single Acquire load when nobody sleeps (the steady busy state).
     pub fn notify_one(&self) {
-        if self.sleepers.load(Ordering::SeqCst) > 0 {
+        if self.sleepers.load(Ordering::Acquire) > 0 {
             let _guard = self.lock.lock();
             self.cv.notify_one();
         }
@@ -83,8 +150,10 @@ impl SleepCtl {
 
     /// Wake every parked thread (shutdown, barrier completion).
     pub fn notify_all(&self) {
-        let _guard = self.lock.lock();
-        self.cv.notify_all();
+        if self.sleepers.load(Ordering::Acquire) > 0 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
     }
 }
 

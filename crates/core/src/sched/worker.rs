@@ -15,8 +15,15 @@ use crate::trace::EventKind;
 /// high-priority list → own list (LIFO) → main list (FIFO) → steal from
 /// other threads in creation order starting from the next one (FIFO).
 pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Job, TaskSource)> {
-    if let Some(job) = pop_injector(&shared.hp) {
-        return Some((job, TaskSource::HighPriority));
+    // One relaxed load short-circuits the high-priority probe for
+    // programs that never use `highpriority` (the common case); once a
+    // single HP task has been enqueued the full check runs forever
+    // after. A racing first-HP-push is caught at worst one bounded park
+    // later, like any other push that races a scan.
+    if shared.hp_used.load(Ordering::Relaxed) {
+        if let Some(job) = pop_injector(&shared.hp) {
+            return Some((job, TaskSource::HighPriority));
+        }
     }
     match shared.cfg.policy {
         SchedulerPolicy::Smpss => {
@@ -50,42 +57,62 @@ pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Jo
 /// "scheduled as soon as possible independently of any locality
 /// consideration".
 pub fn enqueue_ready(shared: &Shared, local: Option<&Worker<Job>>, job: Job) {
-    if job.priority() == Priority::High {
+    // Wake a sleeper only when the target queue transitions from empty
+    // to non-empty: while it stays non-empty, awake workers are already
+    // draining it, and parked workers re-scan within one bounded park
+    // timeout anyway (see `SleepCtl`). This keeps a task storm from
+    // paying one futex wake per task. High-priority tasks always wake —
+    // they are "scheduled as soon as possible".
+    let wake = if job.priority() == Priority::High {
+        shared.hp_used.store(true, Ordering::Relaxed);
         shared.hp.push(job);
+        true
     } else {
         match shared.cfg.policy {
             SchedulerPolicy::Smpss => match local {
-                Some(w) => w.push(job),
-                None => shared.main_q.push(job),
+                Some(w) => {
+                    let was_empty = w.is_empty();
+                    w.push(job);
+                    was_empty
+                }
+                None => {
+                    let was_empty = shared.main_q.is_empty();
+                    shared.main_q.push(job);
+                    was_empty
+                }
             },
-            SchedulerPolicy::CentralQueue => shared.central.push(job),
+            SchedulerPolicy::CentralQueue => {
+                let was_empty = shared.central.is_empty();
+                shared.central.push(job);
+                was_empty
+            }
         }
+    };
+    if wake {
+        shared.sleep.notify_one();
     }
-    shared.sleep.notify_one();
 }
 
 /// Execute one task and propagate readiness to its successors.
 pub fn run_task(shared: &Shared, local: &Worker<Job>, idx: usize, job: Job, source: TaskSource) {
     match source {
-        TaskSource::HighPriority => shared.stats.hp_pops(),
-        TaskSource::OwnList => shared.stats.own_pops(),
-        TaskSource::MainList => shared.stats.main_pops(),
+        TaskSource::HighPriority => shared.stats.hp_pops(idx),
+        TaskSource::OwnList => shared.stats.own_pops(idx),
+        TaskSource::MainList => shared.stats.main_pops(idx),
         TaskSource::Stolen { victim } => {
-            shared.stats.steals();
+            shared.stats.steals(idx);
             shared.trace_event(idx, EventKind::Steal { victim });
         }
     }
     shared.trace_event(idx, EventKind::Start(job.id(), job.name()));
     let body = job.take_body();
     body(); // bindings drop here: read windows close, pending counts fall
-    shared.stats.tasks_executed();
     shared.trace_event(idx, EventKind::End(job.id()));
 
-    let ready = job.complete();
-    let n_ready = ready.len();
-    for succ in ready {
-        enqueue_ready(shared, Some(local), succ);
-    }
+    // The completion hand-off is lock-free: `complete` detaches the
+    // successor list with one swap and we enqueue while walking it —
+    // no lock is held anywhere on this path.
+    let n_ready = job.complete(|succ| enqueue_ready(shared, Some(local), succ));
     let was_live = shared.live.fetch_sub(1, Ordering::AcqRel);
     if was_live == 1 || n_ready > 1 {
         // Everything done (wake the barrier) or surplus work (wake thieves).
@@ -94,11 +121,22 @@ pub fn run_task(shared: &Shared, local: &Worker<Job>, idx: usize, job: Job, sour
 }
 
 /// Body of each spawned worker thread.
+///
+/// Idle handling: spin-scan a few times, then park. The park timeout
+/// starts at `park_micros` and doubles per consecutive fruitless park
+/// (capped at 32x): a worker that keeps finding nothing stops burning
+/// cycles re-scanning — it is woken promptly by the empty-to-non-empty
+/// notify in [`enqueue_ready`] when work appears, so the growing timeout
+/// only bounds the rare lost-wakeup window (see
+/// [`SleepCtl`](super::queues::SleepCtl)).
 pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
+    const MAX_PARK_SHIFT: u32 = 5;
     let mut idle_scans = 0usize;
+    let mut parks = 0u32;
     loop {
         if let Some((job, src)) = find_task(&shared, &local, idx) {
             idle_scans = 0;
+            parks = 0;
             run_task(&shared, &local, idx, job, src);
             continue;
         }
@@ -110,9 +148,9 @@ pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
             std::hint::spin_loop();
             std::thread::yield_now();
         } else {
-            shared
-                .sleep
-                .park(Duration::from_micros(shared.cfg.park_micros));
+            let micros = shared.cfg.park_micros << parks.min(MAX_PARK_SHIFT);
+            parks = parks.saturating_add(1);
+            shared.sleep.park(Duration::from_micros(micros));
         }
     }
 }

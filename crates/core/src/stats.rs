@@ -7,11 +7,38 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Shared atomic counters, updated by all threads.
+/// One thread's ready-list pop counters, cacheline-aligned so threads
+/// never share a counter line. Each shard has a single writer (the
+/// thread with that index), so bumps are plain load+store — no RMW on
+/// the per-task hot path; other threads only read (snapshot), which
+/// Relaxed atomics permit.
+#[repr(align(64))]
 #[derive(Default, Debug)]
+pub(crate) struct PopShard {
+    own_pops: AtomicU64,
+    main_pops: AtomicU64,
+    hp_pops: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl PopShard {
+    #[inline]
+    fn bump(c: &AtomicU64) {
+        c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+}
+
+/// Shared atomic counters.
+///
+/// Three cost tiers, hottest first: the four pop counters are sharded
+/// per thread (see [`PopShard`]); the analyser-side counters are
+/// single-writer (`Runtime: !Sync` pins spawning to one thread) and use
+/// load+store; `tasks_executed` is *derived* in the snapshot — every
+/// executed task is popped from exactly one ready list, so the pop sum
+/// is the execution count.
+#[derive(Debug)]
 pub struct Stats {
     pub(crate) tasks_spawned: AtomicU64,
-    pub(crate) tasks_executed: AtomicU64,
     /// True (read-after-write) dependency edges that gated a task.
     pub(crate) true_edges: AtomicU64,
     /// Anti/output edges (only produced with renaming disabled, or by the
@@ -21,26 +48,34 @@ pub struct Stats {
     pub(crate) renames: AtomicU64,
     /// Deferred copy-ins performed for renamed `inout` parameters.
     pub(crate) copy_ins: AtomicU64,
-    /// Tasks obtained from the thread's own ready list.
-    pub(crate) own_pops: AtomicU64,
-    /// Tasks obtained from the main (FIFO) ready list.
-    pub(crate) main_pops: AtomicU64,
-    /// Tasks obtained from the high-priority list.
-    pub(crate) hp_pops: AtomicU64,
-    /// Tasks stolen from another thread's ready list.
-    pub(crate) steals: AtomicU64,
+    /// Per-thread pop counters, indexed by thread index (0 = main).
+    shards: Box<[PopShard]>,
     /// Barriers executed.
     pub(crate) barriers: AtomicU64,
     /// Times the main thread blocked on the graph-size limit and helped.
     pub(crate) throttle_blocks: AtomicU64,
 }
 
-macro_rules! bump {
+impl Default for Stats {
+    /// One shard — enough for single-threaded unit tests; the runtime
+    /// builds with [`Stats::new`].
+    fn default() -> Self {
+        Stats::new(1)
+    }
+}
+
+/// Single-writer counters: bumped only on the spawning path (dependency
+/// analysis, barriers, throttling), which `Runtime: !Sync` pins to one
+/// thread — so a plain load+store replaces the locked RMW on the
+/// per-task hot path. Other threads may concurrently *read* (snapshot),
+/// which Relaxed atomics permit.
+macro_rules! bump_spawner {
     ($($name:ident),* $(,)?) => {
         $(
             #[inline]
             pub(crate) fn $name(&self) {
-                self.$name.fetch_add(1, Ordering::Relaxed);
+                let v = self.$name.load(Ordering::Relaxed);
+                self.$name.store(v + 1, Ordering::Relaxed);
             }
         )*
     };
@@ -48,34 +83,67 @@ macro_rules! bump {
 
 #[allow(non_snake_case)]
 impl Stats {
-    bump!(
+    bump_spawner!(
         tasks_spawned,
-        tasks_executed,
         true_edges,
         anti_edges,
         renames,
         copy_ins,
-        own_pops,
-        main_pops,
-        hp_pops,
-        steals,
         barriers,
         throttle_blocks,
     );
 
+    pub(crate) fn new(threads: usize) -> Self {
+        Stats {
+            tasks_spawned: AtomicU64::new(0),
+            true_edges: AtomicU64::new(0),
+            anti_edges: AtomicU64::new(0),
+            renames: AtomicU64::new(0),
+            copy_ins: AtomicU64::new(0),
+            shards: (0..threads.max(1)).map(|_| PopShard::default()).collect(),
+            barriers: AtomicU64::new(0),
+            throttle_blocks: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn own_pops(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].own_pops);
+    }
+
+    #[inline]
+    pub(crate) fn main_pops(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].main_pops);
+    }
+
+    #[inline]
+    pub(crate) fn hp_pops(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].hp_pops);
+    }
+
+    #[inline]
+    pub(crate) fn steals(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].steals);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let sum = |f: fn(&PopShard) -> &AtomicU64| self.shards.iter().map(|s| ld(f(s))).sum();
+        let own_pops: u64 = sum(|s| &s.own_pops);
+        let main_pops: u64 = sum(|s| &s.main_pops);
+        let hp_pops: u64 = sum(|s| &s.hp_pops);
+        let steals: u64 = sum(|s| &s.steals);
         StatsSnapshot {
             tasks_spawned: ld(&self.tasks_spawned),
-            tasks_executed: ld(&self.tasks_executed),
+            tasks_executed: own_pops + main_pops + hp_pops + steals,
             true_edges: ld(&self.true_edges),
             anti_edges: ld(&self.anti_edges),
             renames: ld(&self.renames),
             copy_ins: ld(&self.copy_ins),
-            own_pops: ld(&self.own_pops),
-            main_pops: ld(&self.main_pops),
-            hp_pops: ld(&self.hp_pops),
-            steals: ld(&self.steals),
+            own_pops,
+            main_pops,
+            hp_pops,
+            steals,
             barriers: ld(&self.barriers),
             throttle_blocks: ld(&self.throttle_blocks),
         }
@@ -87,6 +155,10 @@ impl Stats {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub tasks_spawned: u64,
+    /// Derived from the pop counters (each executed task is popped from
+    /// exactly one ready list). Mid-run snapshots therefore count tasks
+    /// whose body is *in flight*, not only completed bodies; after a
+    /// [`barrier`](crate::Runtime::barrier) the two notions coincide.
     pub tasks_executed: u64,
     pub true_edges: u64,
     pub anti_edges: u64,
@@ -110,6 +182,32 @@ impl StatsSnapshot {
     pub fn total_pops(&self) -> u64 {
         self.own_pops + self.main_pops + self.hp_pops + self.steals
     }
+
+    /// Pops attributed to one [`TaskSource`] of the §III lookup order.
+    /// Lets external harnesses (perfsuite, the determinism test) assert
+    /// scheduler behaviour without private counter access. Steal counts
+    /// are aggregated over victims.
+    pub fn source_pops(&self, src: crate::sched::TaskSource) -> u64 {
+        use crate::sched::TaskSource::*;
+        match src {
+            HighPriority => self.hp_pops,
+            OwnList => self.own_pops,
+            MainList => self.main_pops,
+            Stolen { .. } => self.steals,
+        }
+    }
+
+    /// All four ready-list counters, labelled in the §III lookup order
+    /// (high-priority, own, main, stolen) — the mechanical form
+    /// `perfsuite` serialises.
+    pub fn pops_by_source(&self) -> [(&'static str, u64); 4] {
+        [
+            ("hp_pops", self.hp_pops),
+            ("own_pops", self.own_pops),
+            ("main_pops", self.main_pops),
+            ("steals", self.steals),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -122,12 +220,30 @@ mod tests {
         s.tasks_spawned();
         s.tasks_spawned();
         s.true_edges();
-        s.steals();
+        s.steals(0);
         let snap = s.snapshot();
         assert_eq!(snap.tasks_spawned, 2);
         assert_eq!(snap.true_edges, 1);
         assert_eq!(snap.steals, 1);
         assert_eq!(snap.total_edges(), 1);
         assert_eq!(snap.total_pops(), 1);
+        assert_eq!(snap.tasks_executed, 1, "executed derives from pops");
+    }
+
+    #[test]
+    fn shards_sum_across_threads() {
+        let s = Stats::new(4);
+        s.own_pops(0);
+        s.own_pops(3);
+        s.main_pops(1);
+        s.hp_pops(2);
+        s.steals(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.own_pops, 2);
+        assert_eq!(snap.main_pops, 1);
+        assert_eq!(snap.hp_pops, 1);
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.tasks_executed, 5);
+        assert_eq!(snap.total_pops(), 5);
     }
 }

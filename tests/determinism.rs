@@ -107,6 +107,46 @@ fn cholesky_is_bitwise_deterministic_across_thread_counts() {
     assert_eq!(one.as_slice(), eight.as_slice());
 }
 
+/// The §III lookup order is observable through the *public* stats
+/// surface (`StatsSnapshot::source_pops`), so this guard needs no
+/// private counter access: a dependency chain on one thread must take
+/// its first task from the main list and every successor from the own
+/// list (LIFO descent), never stealing and never touching the
+/// high-priority list.
+#[test]
+fn lookup_order_is_observable_through_public_counters() {
+    use smpss::TaskSource;
+    const N: u64 = 100;
+    let rt = Runtime::builder().threads(1).build();
+    let x = rt.data(0u64);
+    for _ in 0..N {
+        let mut sp = rt.task("chain");
+        let mut w = sp.inout(&x);
+        sp.submit(move || *w.get_mut() += 1);
+    }
+    rt.barrier();
+    assert_eq!(rt.read(&x), N);
+    let st = rt.stats();
+    // Exactly one task is born ready (the chain head): main list, FIFO.
+    assert_eq!(st.source_pops(TaskSource::MainList), 1);
+    // Every completion releases its successor onto the finisher's own
+    // list: own-list LIFO pops for the rest of the chain.
+    assert_eq!(st.source_pops(TaskSource::OwnList), N - 1);
+    assert_eq!(st.source_pops(TaskSource::HighPriority), 0);
+    // threads(1): there is nobody to steal from.
+    assert_eq!(st.source_pops(TaskSource::Stolen { victim: 0 }), 0);
+    // Conservation: every executed task was popped from exactly one list.
+    assert_eq!(st.total_pops(), st.tasks_executed);
+    assert_eq!(st.tasks_spawned, st.tasks_executed);
+    // The labelled form perfsuite serialises agrees with the per-source
+    // accessor.
+    let by_source = st.pops_by_source();
+    assert_eq!(by_source[0], ("hp_pops", 0));
+    assert_eq!(by_source[1], ("own_pops", N - 1));
+    assert_eq!(by_source[2], ("main_pops", 1));
+    assert_eq!(by_source[3], ("steals", 0));
+}
+
 #[test]
 fn multisort_single_vs_eight_threads() {
     let input = random_input(20_000, 99);
