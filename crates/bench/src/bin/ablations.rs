@@ -8,6 +8,11 @@
 //!    (SMPSs) vs one central queue (SuperMatrix) vs LIFO stealing.
 //! 3. **graph-size limit** — §III blocking condition: how hard can the
 //!    main thread be throttled before makespan suffers?
+//! 4. **spawn-side fast path** — BENCH_0003's machinery: task-node /
+//!    version-buffer pools on vs off, and the tile-indexed region log
+//!    vs the retired linear scan (`spawn_ablation`). Structure is
+//!    asserted through the pool-hit counters and recorded-graph
+//!    equality; timing is reported, not asserted (1-CPU CI hosts).
 
 use smpss::config::SchedulerPolicy;
 use smpss::Runtime;
@@ -204,10 +209,160 @@ fn ablation_graph_limit(cal: &Calibration) {
     );
 }
 
+fn ablation_spawn() {
+    use std::time::Instant;
+    println!("\n== Ablation 4: spawn-side fast path (pools, indexed region log) ==\n");
+
+    // --- task-node pool on a throttled spawner-thread storm ----------
+    let spawn_rate = |pool: bool| {
+        let tasks = 40_000u64;
+        let rt = Runtime::builder()
+            .threads(1)
+            .graph_size_limit(256)
+            .node_pool(pool)
+            .build();
+        let t0 = Instant::now();
+        for _ in 0..tasks {
+            rt.task("storm").submit(|| {});
+        }
+        rt.barrier();
+        let rate = tasks as f64 / t0.elapsed().as_secs_f64();
+        (rate, rt.stats())
+    };
+    let (rate_on, st_on) = spawn_rate(true);
+    let (rate_off, st_off) = spawn_rate(false);
+    println!(
+        "node pool ON : {:>9.0} tasks/s, {} pool hits / {} spawns",
+        rate_on, st_on.node_pool_hits, st_on.tasks_spawned
+    );
+    println!(
+        "node pool OFF: {:>9.0} tasks/s, {} pool hits",
+        rate_off, st_off.node_pool_hits
+    );
+    assert!(
+        st_on.node_pool_hits > st_on.tasks_spawned * 9 / 10,
+        "pool must serve steady-state spawns"
+    );
+    assert_eq!(st_off.node_pool_hits, 0, "disabled pool must never hit");
+
+    // --- version-buffer pool on Strassen-shaped rename churn ---------
+    let rename_rate = |pool: bool| {
+        let pairs = 15_000u64;
+        let rt = Runtime::builder()
+            .threads(1)
+            .graph_size_limit(256)
+            .version_pool(pool)
+            .build();
+        let objs: Vec<_> = (0..64)
+            .map(|_| rt.data_sized(vec![0f32; 64], 256, || vec![0f32; 64]))
+            .collect();
+        let t0 = Instant::now();
+        for i in 0..pairs {
+            let h = &objs[(i % 64) as usize];
+            let mut sp = rt.task("r");
+            let mut r = sp.read(h);
+            sp.submit(move || {
+                std::hint::black_box(r.get()[0]);
+            });
+            let mut sp = rt.task("w");
+            let mut w = sp.write(h);
+            sp.submit(move || w.get_mut()[0] = 1.0);
+        }
+        rt.barrier();
+        let rate = 2.0 * pairs as f64 / t0.elapsed().as_secs_f64();
+        (rate, rt.stats())
+    };
+    let (vrate_on, vst_on) = rename_rate(true);
+    let (vrate_off, vst_off) = rename_rate(false);
+    println!(
+        "version pool ON : {:>9.0} tasks/s, {} pool hits / {} renames",
+        vrate_on, vst_on.version_pool_hits, vst_on.renames
+    );
+    println!(
+        "version pool OFF: {:>9.0} tasks/s, {} pool hits / {} renames",
+        vrate_off, vst_off.version_pool_hits, vst_off.renames
+    );
+    assert!(vst_on.renames > 0 && vst_off.renames > 0, "churn must rename");
+    assert!(
+        vst_on.version_pool_hits > vst_on.renames * 3 / 4,
+        "version pool must serve steady-state renames"
+    );
+    assert_eq!(vst_off.version_pool_hits, 0);
+
+    // --- indexed vs linear region log --------------------------------
+    let region_rate = |indexed: bool| {
+        let (blocks, width, rounds) = (64usize, 64usize, 192usize);
+        let rt = Runtime::builder()
+            .threads(1)
+            .graph_size_limit(256)
+            .indexed_regions(indexed)
+            .build();
+        let data = rt.region_data(vec![0u8; blocks * width]);
+        let t0 = Instant::now();
+        for round in 0..rounds {
+            for b in 0..blocks {
+                let (lo, hi) = (b * width, b * width + width - 1);
+                let mut sp = rt.task("region");
+                let mut w = sp.write_region(&data, smpss::Region::d1(lo..=hi));
+                sp.submit(move || w.slice_mut(lo, hi)[0] = round as u8);
+            }
+        }
+        rt.barrier();
+        (blocks * rounds) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let reg_idx = region_rate(true);
+    let reg_lin = region_rate(false);
+    println!(
+        "region log indexed: {:>9.0} tasks/s   linear: {:>9.0} tasks/s   ({:.2}x)",
+        reg_idx,
+        reg_lin,
+        reg_idx / reg_lin
+    );
+    // Structural equality of the two logs on one deterministic program
+    // (the timing above may wobble on shared hosts; this must not).
+    let record = |indexed: bool| {
+        let rt = Runtime::builder()
+            .threads(1)
+            .indexed_regions(indexed)
+            .record_graph(true)
+            .build();
+        let data = rt.region_data(vec![0u8; 256]);
+        for i in 0..48usize {
+            let lo = (i * 37) % 200;
+            let hi = lo + 20;
+            let mut sp = rt.task("acc");
+            if i % 3 == 0 {
+                let mut r = sp.read_region(&data, smpss::Region::d1(lo..=hi));
+                sp.submit(move || {
+                    std::hint::black_box(r.slice(lo, hi)[0]);
+                });
+            } else {
+                let mut w = sp.write_region(&data, smpss::Region::d1(lo..=hi));
+                sp.submit(move || w.slice_mut(lo, hi)[0] = 1);
+            }
+        }
+        rt.barrier();
+        rt.graph().unwrap().edges().to_vec()
+    };
+    assert_eq!(
+        record(true),
+        record(false),
+        "indexed and linear region logs must record identical edges"
+    );
+    println!("indexed/linear recorded-edge equality: ok");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "spawn_ablation") {
+        ablation_spawn();
+        println!("\nspawn ablation checks passed.");
+        return;
+    }
     let cal = Calibration::default();
     ablation_renaming(&cal);
     ablation_queues(&cal);
     ablation_graph_limit(&cal);
+    ablation_spawn();
     println!("\nall ablation checks passed.");
 }

@@ -38,7 +38,7 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0002";
+pub const BENCH_ID: &str = "BENCH_0003";
 
 /// Schema tag checked by `perfsuite --check`.
 pub const SCHEMA: &str = "smpss-bench/1";
@@ -473,6 +473,115 @@ pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     }
 }
 
+/// Spawner-thread-only storm (BENCH_0003): one thread, empty bodies, a
+/// §III graph-size throttle so spawning and execution interleave on the
+/// single spawner thread. Every cycle measured here sits on the serial
+/// generation path the paper pins scalability on; the throttle also
+/// recirculates completed task nodes through the spawn-side pool, so
+/// the number is the steady-state (recycled) spawn cost, not the
+/// cold-allocation cost.
+pub fn spawn_storm(tasks: u64, reps: usize) -> WorkloadResult {
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let t0 = Instant::now();
+        for _ in 0..tasks {
+            rt.task("spawn").submit(|| {});
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: "spawn_storm/t1".into(),
+        threads: 1,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Strassen-shaped renaming churn (BENCH_0003): pairs of reader-then-
+/// writer tasks over a working set of objects. The reader is still
+/// pending when the writer is analysed, so nearly every writer renames
+/// (fresh version buffer + fresh pending-reader counter) — the paper's
+/// intensive-renaming case, isolated from the arithmetic.
+pub fn rename_storm(tasks: u64, reps: usize) -> WorkloadResult {
+    const OBJECTS: usize = 64;
+    const ELEMS: usize = 64;
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let objs: Vec<_> = (0..OBJECTS)
+            .map(|_| rt.data_sized(vec![0f32; ELEMS], ELEMS * 4, || vec![0f32; ELEMS]))
+            .collect();
+        let t0 = Instant::now();
+        for i in 0..(tasks / 2) {
+            let h = &objs[(i as usize) % OBJECTS];
+            {
+                let mut sp = rt.task("rs_read");
+                let mut r = sp.read(h);
+                sp.submit(move || {
+                    std::hint::black_box(r.get()[0]);
+                });
+            }
+            {
+                let mut sp = rt.task("rs_write");
+                let mut w = sp.write(h);
+                sp.submit(move || w.get_mut()[0] = 1.0);
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: "rename_storm/t1".into(),
+        threads: 1,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Region-log stress (BENCH_0003): rounds of writers over `BLOCKS`
+/// disjoint tiles of one buffer. Each access must be checked against
+/// every live log entry for overlap; a graph-size throttle keeps a few
+/// hundred entries live, so the linear log scans ~256 entries per
+/// access while the indexed log touches only the tile it conflicts on.
+pub fn region_storm(tasks: u64, reps: usize) -> WorkloadResult {
+    const BLOCKS: usize = 64;
+    const WIDTH: usize = 64;
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let data = rt.region_data(vec![0u8; BLOCKS * WIDTH]);
+        let rounds = (tasks as usize).div_ceil(BLOCKS);
+        let t0 = Instant::now();
+        for round in 0..rounds {
+            for b in 0..BLOCKS {
+                let (lo, hi) = (b * WIDTH, b * WIDTH + WIDTH - 1);
+                let mut sp = rt.task("region");
+                let mut w = sp.write_region(&data, smpss::Region::d1(lo..=hi));
+                sp.submit(move || w.slice_mut(lo, hi)[0] = round as u8);
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: "region_storm/t1".into(),
+        threads: 1,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
 /// Multisort over `n` elements (§VI.D); element count is structural.
 pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let input = random_input(n, 17);
@@ -545,6 +654,14 @@ pub fn run_suite(quick: bool) -> Vec<WorkloadResult> {
         eprintln!("  task_chain t={}", t);
         results.push(task_chain(t, chain_tasks, reps));
     }
+    // Spawn-side storms (BENCH_0003): spawner-thread rate, renaming
+    // churn, region-log pressure.
+    eprintln!("  spawn_storm");
+    results.push(spawn_storm(storm_tasks, reps));
+    eprintln!("  rename_storm");
+    results.push(rename_storm(storm_tasks, reps));
+    eprintln!("  region_storm");
+    results.push(region_storm(if quick { 2_048 } else { 16_384 }, reps.min(3)));
     if quick {
         eprintln!("  apps (quick)");
         results.push(app_cholesky(8, 6, 1));

@@ -32,6 +32,9 @@ pub struct RuntimeConfig {
     pub(crate) policy: SchedulerPolicy,
     pub(crate) spin_tries: usize,
     pub(crate) park_micros: u64,
+    pub(crate) node_pool: bool,
+    pub(crate) version_pool: bool,
+    pub(crate) indexed_regions: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -46,6 +49,9 @@ impl Default for RuntimeConfig {
             policy: SchedulerPolicy::Smpss,
             spin_tries: 64,
             park_micros: 100,
+            node_pool: true,
+            version_pool: true,
+            indexed_regions: true,
         }
     }
 }
@@ -125,6 +131,33 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable or disable the spawn-side task-node pool (default: on).
+    /// With the pool, finished nodes are recycled through a lock-free
+    /// free stack and steady-state spawning allocates nothing; the off
+    /// position exists for the `spawn_ablation` study.
+    pub fn node_pool(mut self, on: bool) -> Self {
+        self.cfg.node_pool = on;
+        self
+    }
+
+    /// Enable or disable per-object version-buffer pooling (default:
+    /// on). With the pool, renaming reuses retired version buffers and
+    /// pending-reader counters instead of allocating fresh ones; the
+    /// off position exists for the `spawn_ablation` study.
+    pub fn version_pool(mut self, on: bool) -> Self {
+        self.cfg.version_pool = on;
+        self
+    }
+
+    /// Use the tile-indexed region access log (default: on). The off
+    /// position falls back to the retired linear scan — same edges,
+    /// O(n) per access — for the `spawn_ablation` study and the
+    /// equivalence tests.
+    pub fn indexed_regions(mut self, on: bool) -> Self {
+        self.cfg.indexed_regions = on;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
@@ -149,6 +182,21 @@ mod tests {
         assert!(!c.record_graph);
         assert!(!c.tracing);
         assert_eq!(c.policy, SchedulerPolicy::Smpss);
+        assert!(c.node_pool);
+        assert!(c.version_pool);
+        assert!(c.indexed_regions);
+    }
+
+    #[test]
+    fn builder_sets_fast_path_knobs() {
+        let c = RuntimeBuilder::default()
+            .node_pool(false)
+            .version_pool(false)
+            .indexed_regions(false)
+            .config();
+        assert!(!c.node_pool);
+        assert!(!c.version_pool);
+        assert!(!c.indexed_regions);
     }
 
     #[test]

@@ -21,6 +21,7 @@ pub mod object;
 pub mod opaque;
 pub mod region;
 pub mod region_handle;
+pub(crate) mod region_log;
 pub mod representant;
 pub mod version;
 

@@ -27,6 +27,21 @@ pub(crate) struct CurrentVersion<T> {
     pub(crate) pending_readers: Arc<AtomicUsize>,
 }
 
+/// A version displaced by renaming, parked for reuse. The buffer and
+/// counter stay alive (their `Arc`s pin them) until every reader binding
+/// drops; once both refcounts return to 1 the renamer may resurrect the
+/// pair instead of allocating.
+pub(crate) struct RetiredVersion<T> {
+    pub(crate) buf: Arc<VBuf<T>>,
+    pub(crate) pending: Arc<AtomicUsize>,
+}
+
+/// Retired versions kept beyond the reusable spares; pushing past this
+/// evicts dead entries so an object that stops renaming does not hoard
+/// buffers (the eviction releases the entry's memory ticket, keeping
+/// the §III renamed-bytes account tight).
+const RETIRED_SPARES: usize = 2;
+
 /// Mutable object state, guarded by the object mutex. Only the spawning
 /// thread rewrites it (dependency analysis is performed on the main thread,
 /// §III), but readers' pending counts are decremented from worker threads.
@@ -35,6 +50,8 @@ pub(crate) struct ObjState<T> {
     /// Unfinished readers of the current version — only maintained when
     /// renaming is disabled, to generate anti-dependency edges instead.
     pub(crate) readers_list: Vec<Arc<TaskNode>>,
+    /// The version-buffer pool: renamed-away versions awaiting reuse.
+    pub(crate) retired: Vec<RetiredVersion<T>>,
 }
 
 pub(crate) struct DataObject<T: TaskData> {
@@ -70,6 +87,7 @@ impl<T: TaskData> DataObject<T> {
                     pending_readers: Arc::new(AtomicUsize::new(0)),
                 },
                 readers_list: Vec::new(),
+                retired: Vec::new(),
             }),
         }
     }
@@ -79,6 +97,101 @@ impl<T: TaskData> DataObject<T> {
         let ticket =
             crate::data::version::MemTicket::new(self.version_bytes, Arc::clone(&self.acct));
         Arc::new(VBuf::with_ticket((self.alloc)(), ticket))
+    }
+
+    /// A version for the renamer: a recycled retired one when the pool
+    /// holds a dead pair, else a fresh allocation. Returns
+    /// `(buffer, pending-reader counter, pool hit?)`.
+    ///
+    /// A retired entry is dead exactly when both strong counts are 1 —
+    /// only the pool itself still holds them, so no binding can read or
+    /// write the buffer concurrently. `strong_count` is a relaxed load;
+    /// the Acquire fence after a successful probe pairs with the Release
+    /// decrement of the last dropped `Arc`, ordering that reader's final
+    /// buffer accesses before our reuse.
+    pub(crate) fn acquire_version(
+        &self,
+        st: &mut ObjState<T>,
+        pool: bool,
+    ) -> (Arc<VBuf<T>>, Arc<AtomicUsize>, bool) {
+        if pool {
+            for i in (0..st.retired.len()).rev() {
+                let r = &st.retired[i];
+                if Arc::strong_count(&r.buf) == 1 && Arc::strong_count(&r.pending) == 1 {
+                    std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
+                    let r = st.retired.swap_remove(i);
+                    r.pending.store(0, std::sync::atomic::Ordering::Relaxed);
+                    return (r.buf, r.pending, true);
+                }
+            }
+        }
+        (
+            self.fresh_version_buf(),
+            Arc::new(AtomicUsize::new(0)),
+            false,
+        )
+    }
+
+    /// The renamer's version switch, shared by every renaming branch of
+    /// `dep::{write, inout}`: install a fresh (or pooled) version with
+    /// `producer` as its writer and park the displaced one in the pool.
+    /// Returns `(new buffer, displaced buffer, pool hit?)` — the
+    /// displaced buffer is what a renamed `inout` copies in from.
+    pub(crate) fn rename_current(
+        &self,
+        st: &mut ObjState<T>,
+        producer: Arc<TaskNode>,
+        pool: bool,
+    ) -> (Arc<VBuf<T>>, Arc<VBuf<T>>, bool) {
+        let (buf, pending, hit) = self.acquire_version(st, pool);
+        let old = std::mem::replace(
+            &mut st.current,
+            CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(producer),
+                pending_readers: pending,
+            },
+        );
+        let old_buf = Arc::clone(&old.buf);
+        retire_version(st, old.buf, old.pending_readers, pool);
+        (buf, old_buf, hit)
+    }
+}
+
+/// Park a displaced version in the object's pool (renaming just replaced
+/// it as the current version). The pool is capped **strictly** at
+/// [`RETIRED_SPARES`] entries: beyond that, dead entries are evicted
+/// first (their ticket drop releases the bytes immediately), then the
+/// oldest live ones — an evicted live entry simply reverts to the
+/// pre-pool lifecycle, dying (and releasing its ticket) when its last
+/// reader binding drops. The strict cap is what keeps the §III
+/// renamed-bytes account honest: an object that stops renaming can
+/// never hoard more than the spare budget.
+pub(crate) fn retire_version<T: TaskData>(
+    st: &mut ObjState<T>,
+    buf: Arc<VBuf<T>>,
+    pending: Arc<AtomicUsize>,
+    pool: bool,
+) {
+    if !pool {
+        return; // dropping here releases the version as before the pool
+    }
+    st.retired.push(RetiredVersion { buf, pending });
+    while st.retired.len() > RETIRED_SPARES {
+        let dead = st
+            .retired
+            .iter()
+            .position(|r| Arc::strong_count(&r.buf) == 1 && Arc::strong_count(&r.pending) == 1);
+        match dead {
+            Some(i) => {
+                st.retired.swap_remove(i);
+            }
+            // No dead entry: evict the oldest live one (readers keep it
+            // alive through their own Arcs; we only lose its reuse).
+            None => {
+                st.retired.remove(0);
+            }
+        }
     }
 }
 

@@ -27,8 +27,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use super::region::Region;
+use super::region_log::RegionLog;
 use super::version::VBuf;
-use crate::graph::node::TaskNode;
 use crate::ids::ObjectId;
 
 /// Buffers usable with region-level dependency tracking: a linear array of
@@ -78,30 +78,24 @@ unsafe impl<E: Send + 'static> RegionData for Box<[E]> {
     }
 }
 
-/// One unfinished (or, with graph recording, historical) access in the log.
-pub(crate) struct RegionAccess {
-    pub(crate) region: Region,
-    pub(crate) write: bool,
-    pub(crate) node: Arc<TaskNode>,
-}
-
 pub(crate) struct RegionObject<T: RegionData> {
     pub(crate) id: ObjectId,
     pub(crate) buf: Arc<VBuf<T>>,
-    /// Access log consulted for overlap edges. Finished entries are pruned
-    /// opportunistically unless the runtime records graphs (then pruning
+    /// Access log consulted for overlap edges — tile-indexed by default,
+    /// linear for the ablation (see [`RegionLog`]). Finished entries are
+    /// pruned eagerly unless the runtime records graphs (then pruning
     /// would lose structural edges).
-    pub(crate) log: Mutex<Vec<RegionAccess>>,
+    pub(crate) log: Mutex<RegionLog>,
     /// Dynamic validation of the disjointness invariant (see module docs).
     pub(crate) active: Mutex<Vec<(u64, Region, bool)>>,
 }
 
 impl<T: RegionData> RegionObject<T> {
-    pub(crate) fn new(id: ObjectId, value: T) -> Self {
+    pub(crate) fn new(id: ObjectId, value: T, indexed_log: bool) -> Self {
         RegionObject {
             id,
             buf: Arc::new(VBuf::new(value)),
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(RegionLog::new(indexed_log)),
             active: Mutex::new(Vec::new()),
         }
     }
@@ -338,7 +332,7 @@ mod tests {
     use super::*;
 
     fn obj(n: usize) -> Arc<RegionObject<Vec<i32>>> {
-        Arc::new(RegionObject::new(ObjectId(1), (0..n as i32).collect()))
+        Arc::new(RegionObject::new(ObjectId(1), (0..n as i32).collect(), true))
     }
 
     #[test]
@@ -420,7 +414,7 @@ mod tests {
     fn box_slice_impl() {
         let data: Box<[u8]> = vec![1, 2, 3].into_boxed_slice();
         assert_eq!(data.region_len(), 3);
-        let o = Arc::new(RegionObject::new(ObjectId(2), data));
+        let o = Arc::new(RegionObject::new(ObjectId(2), data, true));
         let mut r = RegionReadBinding::new(o, Region::d1(0..=2));
         assert_eq!(r.slice(0, 2), &[1, 2, 3]);
     }

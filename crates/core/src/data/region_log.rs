@@ -1,0 +1,708 @@
+//! The region access log: overlap queries for §V.A dependency analysis.
+//!
+//! Every region access must be compared against the live accesses of the
+//! same buffer; overlapping pairs become edges. The seed implementation
+//! kept a flat `Vec` and scanned it whole on every access — O(n) per
+//! access, O(n²) per program, and the dominant cost of region-heavy
+//! workloads (BENCH_0003's `region_storm`).
+//!
+//! [`IndexedLog`] replaces the scan with a **tile index over the first
+//! dimension**: the observed coordinate range is split into
+//! [`TILES`] equal tiles, each holding the handles of the entries whose
+//! dim-0 interval touches it. A query gathers candidates only from the
+//! tiles its own dim-0 interval spans (plus the `wide` list of
+//! full-dimension or very broad entries), deduplicates them with a query
+//! stamp, and checks exact N-dimensional overlap on that handful — O(tiles
+//! touched + candidates) instead of O(live entries). Entries whose dim-0
+//! coordinates fall outside the current range trigger an amortised
+//! rebuild with a doubled range.
+//!
+//! **Eager pruning:** when structural recording is off, finished entries
+//! are dropped the moment a query encounters them, and a periodic sweep
+//! clears tiles that queries never revisit, so the log tracks the live
+//! frontier instead of program history.
+//!
+//! [`LinearLog`] — the retired scan — is kept behind
+//! [`RuntimeBuilder::indexed_regions(false)`](crate::RuntimeBuilder::indexed_regions)
+//! as the ablation baseline and as the oracle for the equivalence tests
+//! below: both logs must emit **exactly** the same edge sequence for any
+//! access sequence.
+
+use std::sync::Arc;
+
+use crate::data::region::{Region, RegionBound};
+use crate::graph::node::TaskNode;
+use crate::graph::record::EdgeKind;
+use crate::ids::TaskId;
+
+/// One logged access.
+pub(crate) struct Access {
+    pub(crate) region: Region,
+    pub(crate) write: bool,
+    pub(crate) node: Arc<TaskNode>,
+}
+
+/// The dependency the pair `(earlier access, this access)` induces, if any.
+fn edge_kind(earlier_write: bool, write: bool) -> Option<EdgeKind> {
+    match (earlier_write, write) {
+        (true, false) => Some(EdgeKind::True),
+        (true, true) => Some(EdgeKind::Output),
+        (false, true) => Some(EdgeKind::Anti),
+        (false, false) => None, // read-read: no dependency
+    }
+}
+
+/// A region access log; see the module docs for the two variants.
+pub(crate) enum RegionLog {
+    Linear(LinearLog),
+    Indexed(IndexedLog),
+}
+
+impl RegionLog {
+    pub(crate) fn new(indexed: bool) -> Self {
+        if indexed {
+            RegionLog::Indexed(IndexedLog::default())
+        } else {
+            RegionLog::Linear(LinearLog::default())
+        }
+    }
+
+    /// Analyse one access: emit an edge for every live logged access
+    /// overlapping `region` (in log-insertion order, skipping entries of
+    /// the spawning task `me` itself), prune finished entries when
+    /// `prune`, then append the access.
+    pub(crate) fn record(
+        &mut self,
+        region: &Region,
+        write: bool,
+        me: TaskId,
+        node: &Arc<TaskNode>,
+        prune: bool,
+        emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
+    ) {
+        match self {
+            RegionLog::Linear(l) => l.record(region, write, me, node, prune, emit),
+            RegionLog::Indexed(l) => l.record(region, write, me, node, prune, emit),
+        }
+    }
+
+    /// Have all logged accessors finished? (The `with_region` wait.)
+    pub(crate) fn all_finished(&self) -> bool {
+        match self {
+            RegionLog::Linear(l) => l.entries.iter().all(|e| e.node.is_finished()),
+            RegionLog::Indexed(l) => l
+                .slots
+                .iter()
+                .filter_map(|s| s.access.as_ref())
+                .all(|a| a.node.is_finished()),
+        }
+    }
+
+    /// Live entries currently held (test observability).
+    #[cfg(test)]
+    pub(crate) fn live_len(&self) -> usize {
+        match self {
+            RegionLog::Linear(l) => l.entries.len(),
+            RegionLog::Indexed(l) => l.live,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linear oracle
+// ---------------------------------------------------------------------
+
+/// The retired O(n)-per-access log: scan everything, in order.
+#[derive(Default)]
+pub(crate) struct LinearLog {
+    entries: Vec<Access>,
+}
+
+impl LinearLog {
+    fn record(
+        &mut self,
+        region: &Region,
+        write: bool,
+        me: TaskId,
+        node: &Arc<TaskNode>,
+        prune: bool,
+        emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
+    ) {
+        if prune {
+            self.entries.retain(|e| !e.node.is_finished());
+        }
+        for e in self.entries.iter() {
+            if e.node.id() == me {
+                continue; // several regions of one task never self-depend
+            }
+            if !e.region.overlaps(region) {
+                continue;
+            }
+            if let Some(kind) = edge_kind(e.write, write) {
+                emit(&e.node, kind);
+            }
+        }
+        self.entries.push(Access {
+            region: region.clone(),
+            write,
+            node: Arc::clone(node),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tile-indexed log
+// ---------------------------------------------------------------------
+
+/// Tiles over the observed dim-0 coordinate range.
+const TILES: usize = 64;
+
+/// Entries spanning more than this many tiles go to the `wide` list
+/// (checked by every query) instead of being registered per tile.
+const WIDE_SPAN: usize = TILES / 4;
+
+/// A handle into the slot slab: `(index, generation)`. Stale handles
+/// (generation mismatch) are removed lazily when encountered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct EntryRef {
+    idx: u32,
+    gen: u32,
+}
+
+struct Slot {
+    gen: u32,
+    /// Insertion sequence number: queries sort their matches by it so
+    /// edge emission order equals linear-log (program) order.
+    seq: u64,
+    /// Last query that visited this slot (dedup across tiles).
+    stamp: u64,
+    access: Option<Access>,
+}
+
+pub(crate) struct IndexedLog {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    /// Per-tile entry handles over `[lo, hi)` on dimension 0.
+    tiles: Vec<Vec<EntryRef>>,
+    /// Full-dim-0 and very broad entries: candidates of every query.
+    wide: Vec<EntryRef>,
+    lo: usize,
+    hi: usize,
+    next_seq: u64,
+    query_stamp: u64,
+    /// Records since the last full sweep (amortised pruning trigger).
+    since_sweep: usize,
+    /// Scratch for match sorting (kept to avoid per-query allocation).
+    matches: Vec<(u64, u32)>,
+}
+
+impl Default for IndexedLog {
+    fn default() -> Self {
+        IndexedLog {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            tiles: (0..TILES).map(|_| Vec::new()).collect(),
+            wide: Vec::new(),
+            lo: 0,
+            hi: 0,
+            next_seq: 0,
+            query_stamp: 0,
+            since_sweep: 0,
+            matches: Vec::new(),
+        }
+    }
+}
+
+/// The dim-0 interval of a region; missing dimensions are full
+/// (mirrors [`Region::overlaps`]' conservative arity handling).
+fn dim0(region: &Region) -> RegionBound {
+    region.dims().first().copied().unwrap_or(RegionBound::Full)
+}
+
+impl IndexedLog {
+    fn tile_width(&self) -> usize {
+        ((self.hi - self.lo) / TILES).max(1)
+    }
+
+    fn tile_of(&self, x: usize) -> usize {
+        ((x.saturating_sub(self.lo)) / self.tile_width()).min(TILES - 1)
+    }
+
+    /// Tile span of a bounded dim-0 interval, or `None` for wide entries.
+    fn span(&self, bound: RegionBound) -> Option<(usize, usize)> {
+        match bound {
+            RegionBound::Full => None,
+            RegionBound::Bounds(l, u) => {
+                let (t0, t1) = (self.tile_of(l), self.tile_of(u));
+                if t1 - t0 + 1 > WIDE_SPAN {
+                    None
+                } else {
+                    Some((t0, t1))
+                }
+            }
+        }
+    }
+
+    fn register(&mut self, idx: u32) {
+        let r = EntryRef {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        };
+        let bound = dim0(&self.slots[idx as usize].access.as_ref().unwrap().region);
+        match self.span(bound) {
+            None => self.wide.push(r),
+            Some((t0, t1)) => {
+                for t in t0..=t1 {
+                    self.tiles[t].push(r);
+                }
+            }
+        }
+    }
+
+    fn free_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.access.is_some());
+        slot.access = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+    }
+
+    /// Re-tile over the **tight** range covering `l..=u` and every live
+    /// bounded entry (dead and wide entries don't constrain it), with
+    /// power-of-two slack so a sliding frontier triggers O(log range)
+    /// rebuilds, not one per insert. Recomputing `lo` from the live
+    /// entries matters: accesses clustered at high offsets must get
+    /// per-cluster tiles, not tiles stretched back to zero.
+    fn rebuild_covering(&mut self, l: usize, u: usize) {
+        let mut lo = l;
+        let mut hi = u + 1;
+        for slot in &self.slots {
+            if let Some(a) = &slot.access {
+                if let RegionBound::Bounds(el, eu) = dim0(&a.region) {
+                    lo = lo.min(el);
+                    hi = hi.max(eu + 1);
+                }
+            }
+        }
+        let extent = (hi - lo).next_power_of_two();
+        self.lo = lo;
+        self.hi = lo + extent;
+        for t in &mut self.tiles {
+            t.clear();
+        }
+        self.wide.clear();
+        for idx in 0..self.slots.len() as u32 {
+            if self.slots[idx as usize].access.is_some() {
+                self.register(idx);
+            }
+        }
+    }
+
+    /// Drop every finished entry and rebuild the tile lists (amortised:
+    /// triggered when enough records have happened that untouched tiles
+    /// may be full of finished entries).
+    fn sweep(&mut self) {
+        for idx in 0..self.slots.len() as u32 {
+            let finished = matches!(
+                &self.slots[idx as usize].access,
+                Some(a) if a.node.is_finished()
+            );
+            if finished {
+                self.free_slot(idx);
+            }
+        }
+        for t in &mut self.tiles {
+            t.clear();
+        }
+        self.wide.clear();
+        for idx in 0..self.slots.len() as u32 {
+            if self.slots[idx as usize].access.is_some() {
+                self.register(idx);
+            }
+        }
+        self.since_sweep = 0;
+    }
+
+    /// Visit one candidate list (the wide list or one tile), collecting
+    /// overlap matches into `self.matches` and lazily removing
+    /// stale/finished handles. Read-after-read pairs are filtered here
+    /// (they can never emit an edge), so read-heavy queries don't sort
+    /// and walk useless matches.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_list(
+        &mut self,
+        wide: bool,
+        tile: usize,
+        region: &Region,
+        write: bool,
+        me: TaskId,
+        prune: bool,
+    ) {
+        let mut i = 0;
+        loop {
+            let r = {
+                let list = if wide { &self.wide } else { &self.tiles[tile] };
+                match list.get(i) {
+                    Some(r) => *r,
+                    None => break,
+                }
+            };
+            let slot = &mut self.slots[r.idx as usize];
+            let stale = slot.gen != r.gen || slot.access.is_none();
+            if stale {
+                let list = if wide { &mut self.wide } else { &mut self.tiles[tile] };
+                list.swap_remove(i);
+                continue;
+            }
+            if slot.stamp == self.query_stamp {
+                // Already visited via another tile this query — it may
+                // even be in `matches`, so it must not be freed below.
+                i += 1;
+                continue;
+            }
+            if prune && slot.access.as_ref().unwrap().node.is_finished() {
+                self.free_slot(r.idx);
+                let list = if wide { &mut self.wide } else { &mut self.tiles[tile] };
+                list.swap_remove(i);
+                continue;
+            }
+            slot.stamp = self.query_stamp;
+            let a = slot.access.as_ref().unwrap();
+            if a.node.id() != me
+                && edge_kind(a.write, write).is_some()
+                && a.region.overlaps(region)
+            {
+                self.matches.push((slot.seq, r.idx));
+            }
+            i += 1;
+        }
+    }
+
+    fn record(
+        &mut self,
+        region: &Region,
+        write: bool,
+        me: TaskId,
+        node: &Arc<TaskNode>,
+        prune: bool,
+        emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
+    ) {
+        self.query_stamp += 1;
+        self.since_sweep += 1;
+        if prune && self.since_sweep > 2 * self.slots.len().max(64) {
+            self.sweep();
+        }
+
+        // Gather candidates: the wide list plus the tiles the query's
+        // dim-0 interval spans (a Full query spans them all).
+        self.matches.clear();
+        self.scan_list(true, 0, region, write, me, prune);
+        let span = if self.hi > self.lo {
+            match dim0(region) {
+                RegionBound::Full => Some((0, TILES - 1)),
+                RegionBound::Bounds(l, u) => {
+                    // Clamp to the indexed range: coordinates beyond it
+                    // cannot host any registered entry.
+                    let l = l.max(self.lo);
+                    let u = u.min(self.hi - 1);
+                    if l <= u {
+                        Some((self.tile_of(l), self.tile_of(u)))
+                    } else {
+                        None
+                    }
+                }
+            }
+        } else {
+            None
+        };
+        if let Some((t0, t1)) = span {
+            for t in t0..=t1 {
+                self.scan_list(false, t, region, write, me, prune);
+            }
+        }
+
+        // Emit in insertion order — exactly the linear log's order.
+        self.matches.sort_unstable_by_key(|&(seq, _)| seq);
+        let matches = std::mem::take(&mut self.matches);
+        for &(_, idx) in &matches {
+            let a = self.slots[idx as usize].access.as_ref().unwrap();
+            if let Some(kind) = edge_kind(a.write, write) {
+                emit(&a.node, kind);
+            }
+        }
+        self.matches = matches;
+
+        // Insert the new access.
+        if let RegionBound::Bounds(l, u) = dim0(region) {
+            if self.hi == self.lo || l < self.lo || u >= self.hi {
+                self.rebuild_covering(l, u);
+            }
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.seq = self.next_seq;
+                slot.stamp = 0;
+                slot.access = Some(Access {
+                    region: region.clone(),
+                    write,
+                    node: Arc::clone(node),
+                });
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq: self.next_seq,
+                    stamp: 0,
+                    access: Some(Access {
+                        region: region.clone(),
+                        write,
+                        node: Arc::clone(node),
+                    }),
+                });
+                idx
+            }
+        };
+        self.next_seq += 1;
+        self.live += 1;
+        self.register(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Priority;
+
+    fn node(id: u64) -> Arc<TaskNode> {
+        TaskNode::new(TaskId(id), "t", Priority::Normal)
+    }
+
+    fn finish(n: &Arc<TaskNode>) {
+        n.install_body(|| {});
+        n.take_body().run();
+        let _ = n.complete(|_| {});
+    }
+
+    type Emitted = Vec<(u64, EdgeKind)>;
+
+    /// Apply the same access to both logs, returning the emitted
+    /// `(producer id, kind)` sequences for comparison.
+    fn record_both(
+        linear: &mut RegionLog,
+        indexed: &mut RegionLog,
+        region: &Region,
+        write: bool,
+        me: TaskId,
+        node: &Arc<TaskNode>,
+        prune: bool,
+    ) -> (Emitted, Emitted) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        linear.record(region, write, me, node, prune, &mut |n, k| {
+            a.push((n.id().0, k))
+        });
+        indexed.record(region, write, me, node, prune, &mut |n, k| {
+            b.push((n.id().0, k))
+        });
+        (a, b)
+    }
+
+    #[test]
+    fn indexed_matches_linear_on_a_block_pattern() {
+        let mut lin = RegionLog::new(false);
+        let mut idx = RegionLog::new(true);
+        let nodes: Vec<_> = (1..=40).map(node).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            let b = i % 8;
+            let region = Region::d1(b * 10..=b * 10 + 9);
+            let (a, bq) = record_both(
+                &mut lin,
+                &mut idx,
+                &region,
+                i % 3 != 0,
+                n.id(),
+                n,
+                false,
+            );
+            assert_eq!(a, bq, "access {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn indexed_matches_linear_with_full_and_2d_regions() {
+        let mut lin = RegionLog::new(false);
+        let mut idx = RegionLog::new(true);
+        let regions = [
+            Region::all(),
+            Region::d1(0..=9),
+            Region::d2(0..=3, 0..=3),
+            Region::d2(2..=5, 4..=7),
+            Region::d1(100..=220),
+            Region::d2(0..=100, 2..=2),
+        ];
+        let nodes: Vec<_> = (1..=30).map(node).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            let region = &regions[i % regions.len()];
+            let (a, b) = record_both(
+                &mut lin,
+                &mut idx,
+                region,
+                i % 2 == 0,
+                n.id(),
+                n,
+                false,
+            );
+            assert_eq!(a, b, "access {} diverged", i);
+        }
+    }
+
+    #[test]
+    fn pruning_drops_finished_entries_and_preserves_edges() {
+        let mut lin = RegionLog::new(false);
+        let mut idx = RegionLog::new(true);
+        let nodes: Vec<_> = (1..=20).map(node).collect();
+        for (i, n) in nodes.iter().enumerate() {
+            if i >= 4 {
+                finish(&nodes[i - 4]); // trailing completion frontier
+            }
+            let region = Region::d1((i % 5) * 8..=(i % 5) * 8 + 11);
+            let (a, b) = record_both(&mut lin, &mut idx, &region, true, n.id(), n, true);
+            assert_eq!(a, b, "access {} diverged under pruning", i);
+        }
+        // The linear log pruned every finished entry; the indexed log
+        // prunes what queries touch (all tiles were touched here).
+        assert!(lin.live_len() <= 20);
+        assert!(idx.live_len() <= lin.live_len() + 4);
+    }
+
+    #[test]
+    fn self_accesses_do_not_self_depend() {
+        for indexed in [false, true] {
+            let mut log = RegionLog::new(indexed);
+            let n = node(1);
+            let mut edges = 0usize;
+            let mut emit = |_: &Arc<TaskNode>, _: EdgeKind| edges += 1;
+            log.record(&Region::d1(0..=9), true, TaskId(1), &n, true, &mut emit);
+            log.record(&Region::d1(5..=14), true, TaskId(1), &n, true, &mut emit);
+            assert_eq!(edges, 0, "indexed={}", indexed);
+        }
+    }
+
+    #[test]
+    fn all_finished_tracks_completion() {
+        for indexed in [false, true] {
+            let mut log = RegionLog::new(indexed);
+            let n = node(1);
+            log.record(&Region::d1(0..=3), true, TaskId(1), &n, true, &mut |_, _| {});
+            assert!(!log.all_finished(), "indexed={}", indexed);
+            finish(&n);
+            assert!(log.all_finished(), "indexed={}", indexed);
+        }
+    }
+
+    /// The ISSUE-3 equivalence property: for random access sequences —
+    /// random 1-D/2-D/full regions, random read/write directions,
+    /// random completion interleavings, pruning on and off (recording
+    /// off and on) — the indexed log emits **exactly** the same edge
+    /// sequence (producer id + kind, in order) as the retired linear
+    /// scan. The runtime-level twin (renaming on/off through the public
+    /// API) lives in `tests/regions.rs`.
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One scripted access: region shape, direction, and how many
+        /// of the oldest unfinished accessors complete first.
+        type Op = (usize, usize, usize, usize, usize);
+
+        fn op() -> impl Strategy<Value = Op> {
+            (0..6usize, 0..90usize, 1..24usize, 0..2usize, 0..3usize)
+        }
+
+        fn region_of(kind: usize, a: usize, len: usize) -> Region {
+            match kind {
+                0 => Region::d1(a..=a + len - 1),
+                1 => Region::all(),
+                2 => Region::d2(a..=a + len - 1, a / 2..=a / 2 + len),
+                3 => Region::d2(RegionBound::Full, RegionBound::Bounds(a, a + len)),
+                // Far coordinates: exercises range growth/rebuild.
+                4 => Region::d1(a * 100..=a * 100 + len),
+                _ => Region::d1(a..=a + 2 * len),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            #[test]
+            fn indexed_log_emits_exactly_the_linear_edge_sequence(
+                ops in proptest::collection::vec(op(), 1..80),
+                prune in 0..2usize,
+            ) {
+                let prune = prune == 1;
+                let mut lin = RegionLog::new(false);
+                let mut idx = RegionLog::new(true);
+                let mut nodes: Vec<Arc<TaskNode>> = Vec::new();
+                let mut next_unfinished = 0usize;
+                for (i, &(kind, a, len, write, fin)) in ops.iter().enumerate() {
+                    // Complete `fin` of the oldest unfinished accessors.
+                    for _ in 0..fin {
+                        if next_unfinished < nodes.len() {
+                            finish(&nodes[next_unfinished]);
+                            next_unfinished += 1;
+                        }
+                    }
+                    let n = node(i as u64 + 1);
+                    nodes.push(Arc::clone(&n));
+                    let region = region_of(kind, a, len);
+                    let (le, ie) = record_both(
+                        &mut lin,
+                        &mut idx,
+                        &region,
+                        write == 1,
+                        n.id(),
+                        &n,
+                        prune,
+                    );
+                    prop_assert_eq!(le, ie, "access {} diverged (prune={})", i, prune);
+                }
+                // Liveness agrees too once both logs have pruned what
+                // they can see: every unfinished entry is still tracked.
+                prop_assert_eq!(
+                    lin.all_finished(),
+                    idx.all_finished()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_growth_rebuilds_and_keeps_entries_queryable() {
+        let mut log = RegionLog::new(true);
+        let n1 = node(1);
+        log.record(&Region::d1(0..=9), true, TaskId(1), &n1, false, &mut |_, _| {});
+        // Far outside the initial range: forces a rebuild.
+        let n2 = node(2);
+        log.record(
+            &Region::d1(100_000..=100_009),
+            true,
+            TaskId(2),
+            &n2,
+            false,
+            &mut |_, _| {},
+        );
+        // Overlaps the first entry: the rebuilt index must still find it.
+        let n3 = node(3);
+        let mut hit = Vec::new();
+        log.record(&Region::d1(5..=6), false, TaskId(3), &n3, false, &mut |n, k| {
+            hit.push((n.id().0, k))
+        });
+        assert_eq!(hit, vec![(1, EdgeKind::True)]);
+    }
+}

@@ -15,8 +15,9 @@
 //! * `input` — a true edge from the producer of the current version.
 //! * `output` — the old value is dead to us: if the current version is
 //!   quiescent (producer finished, no pending readers) we reuse its buffer
-//!   in place; otherwise we allocate a **fresh version** and leave the old
-//!   one to its readers. Either way, *no edge* is created.
+//!   in place; otherwise we take a **fresh version** — recycled from the
+//!   object's retired pool when one is dead, allocated otherwise — and
+//!   leave the old one to its readers. Either way, *no edge* is created.
 //! * `inout` — a true edge from the producer. If the current version has
 //!   pending readers, writing in place would be a WAR hazard, so we rename:
 //!   fresh buffer + deferred copy-in of the predecessor value (performed by
@@ -27,13 +28,29 @@
 //! Writers get anti-edges from all pending readers and an output edge from
 //! the previous producer; everything stays in place. Same results, more
 //! edges, less parallelism — measured by `ablation_renaming`.
+//!
+//! ## Critical sections
+//!
+//! On the renaming fast path, each function holds the object mutex only
+//! for the version bookkeeping itself: stats bumps and edge linking
+//! (which may take the structural-recording mutex) happen **after** the
+//! object lock is released, so the per-parameter critical section is a
+//! handful of loads and stores. This is safe because the spawner is the
+//! only thread that rewrites object state (`Runtime: !Sync`), so the
+//! decisions taken under the lock cannot be invalidated before the
+//! edges are linked. The renaming-off ablation path and the region
+//! analyser still link while holding their object/log lock (see
+//! [`link_hazards`] and [`region_deps`]) — all of these locks are taken
+//! by the spawning thread only, and nothing acquires an object or log
+//! mutex while holding the graph mutex.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use crate::data::object::Handle;
+use crate::data::object::{CurrentVersion, Handle};
 use crate::data::region::Region;
 use crate::data::region_handle::{
-    RegionAccess, RegionData, RegionHandle, RegionReadBinding, RegionWriteBinding,
+    RegionData, RegionHandle, RegionReadBinding, RegionWriteBinding,
 };
 use crate::data::version::{ReadBinding, WriteBinding};
 use crate::data::TaskData;
@@ -42,39 +59,50 @@ use crate::runtime::spawner::TaskSpawner;
 
 /// Analyse an `input` parameter.
 pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBinding<T> {
-    let mut st = h.obj.state.lock();
-    if let Some(p) = &st.current.producer {
+    let (producer, binding) = {
+        let mut st = h.obj.state.lock();
+        if !sp.renaming() {
+            st.readers_list.push(Arc::clone(sp.node()));
+        }
+        (
+            st.current.producer.clone(),
+            ReadBinding::new(
+                Arc::clone(&st.current.buf),
+                Arc::clone(&st.current.pending_readers),
+            ),
+        )
+    };
+    if let Some(p) = &producer {
         sp.link(p, EdgeKind::True);
     }
-    if !sp.renaming() {
-        let node = Arc::clone(sp.node());
-        st.readers_list.push(node);
-    }
-    ReadBinding::new(
-        Arc::clone(&st.current.buf),
-        Arc::clone(&st.current.pending_readers),
-    )
+    binding
 }
 
 /// Analyse an `output` parameter.
 pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
-    let mut st = h.obj.state.lock();
     if sp.renaming() {
-        let quiescent = quiescent(&st.current);
-        if quiescent {
-            st.current.producer = Some(Arc::clone(sp.node()));
-            WriteBinding::new(Arc::clone(&st.current.buf), None)
-        } else {
+        let pool = sp.version_pooling();
+        let mut pooled_rename = None;
+        let binding = {
+            let mut st = h.obj.state.lock();
+            if quiescent(&st.current) {
+                st.current.producer = Some(Arc::clone(sp.node()));
+                WriteBinding::new(Arc::clone(&st.current.buf), None)
+            } else {
+                let (buf, _old, hit) = h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
+                pooled_rename = Some(hit);
+                WriteBinding::new(buf, None)
+            }
+        };
+        if let Some(hit) = pooled_rename {
             sp.stats().renames();
-            let buf = h.obj.fresh_version_buf();
-            st.current = crate::data::object::CurrentVersion {
-                buf: Arc::clone(&buf),
-                producer: Some(Arc::clone(sp.node())),
-                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
-            };
-            WriteBinding::new(buf, None)
+            if hit {
+                sp.stats().version_pool_hits();
+            }
         }
+        binding
     } else {
+        let mut st = h.obj.state.lock();
         let self_alias = link_hazards(sp, &mut st);
         if self_alias {
             // This task also *reads* the object (same pointer passed as
@@ -85,12 +113,8 @@ pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
             // the same way (renaming is what makes the declaration
             // well-defined).
             sp.stats().renames();
-            let buf = h.obj.fresh_version_buf();
-            st.current = crate::data::object::CurrentVersion {
-                buf: Arc::clone(&buf),
-                producer: Some(Arc::clone(sp.node())),
-                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
-            };
+            let (buf, _old, _) =
+                h.obj.rename_current(&mut st, Arc::clone(sp.node()), sp.version_pooling());
             WriteBinding::new(buf, None)
         } else {
             st.current.producer = Some(Arc::clone(sp.node()));
@@ -101,45 +125,49 @@ pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
 
 /// Analyse an `inout` parameter.
 pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
-    let mut st = h.obj.state.lock();
-    if let Some(p) = &st.current.producer {
-        sp.link(p, EdgeKind::True);
-    }
     if sp.renaming() {
-        let readers = st
-            .current
-            .pending_readers
-            .load(std::sync::atomic::Ordering::Acquire);
-        if readers > 0 {
-            // WAR hazard: rename with deferred copy-in.
+        let pool = sp.version_pooling();
+        let mut pooled_rename = None;
+        let (producer, binding) = {
+            let mut st = h.obj.state.lock();
+            let producer = st.current.producer.clone();
+            let readers = st.current.pending_readers.load(Ordering::Acquire);
+            let binding = if readers > 0 {
+                // WAR hazard: rename with deferred copy-in.
+                let (buf, old_buf, hit) =
+                    h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
+                pooled_rename = Some(hit);
+                WriteBinding::new(buf, Some(old_buf))
+            } else {
+                st.current.producer = Some(Arc::clone(sp.node()));
+                WriteBinding::new(Arc::clone(&st.current.buf), None)
+            };
+            (producer, binding)
+        };
+        if let Some(p) = &producer {
+            sp.link(p, EdgeKind::True);
+        }
+        if let Some(hit) = pooled_rename {
             sp.stats().renames();
             sp.stats().copy_ins();
-            let old_buf = Arc::clone(&st.current.buf);
-            let buf = h.obj.fresh_version_buf();
-            st.current = crate::data::object::CurrentVersion {
-                buf: Arc::clone(&buf),
-                producer: Some(Arc::clone(sp.node())),
-                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
-            };
-            WriteBinding::new(buf, Some(old_buf))
-        } else {
-            st.current.producer = Some(Arc::clone(sp.node()));
-            WriteBinding::new(Arc::clone(&st.current.buf), None)
+            if hit {
+                sp.stats().version_pool_hits();
+            }
         }
+        binding
     } else {
+        let mut st = h.obj.state.lock();
+        if let Some(p) = &st.current.producer {
+            sp.link(p, EdgeKind::True);
+        }
         let self_alias = link_hazards(sp, &mut st);
         if self_alias {
             // See `write`: a self-aliased inout needs a fresh version
             // with a copy-in so the read half observes the old value.
             sp.stats().renames();
             sp.stats().copy_ins();
-            let old_buf = Arc::clone(&st.current.buf);
-            let buf = h.obj.fresh_version_buf();
-            st.current = crate::data::object::CurrentVersion {
-                buf: Arc::clone(&buf),
-                producer: Some(Arc::clone(sp.node())),
-                pending_readers: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
-            };
+            let (buf, old_buf, _) =
+                h.obj.rename_current(&mut st, Arc::clone(sp.node()), sp.version_pooling());
             WriteBinding::new(buf, Some(old_buf))
         } else {
             st.current.producer = Some(Arc::clone(sp.node()));
@@ -149,17 +177,28 @@ pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
 }
 
 /// Is the current version settled (producer done, nobody still reading)?
-fn quiescent<T>(cur: &crate::data::object::CurrentVersion<T>) -> bool {
-    cur.producer.as_ref().is_none_or(|p| p.is_finished())
-        && cur
-            .pending_readers
-            .load(std::sync::atomic::Ordering::Acquire)
-            == 0
+///
+/// Both probes are relaxed; one Acquire fence on the settled path orders
+/// the producer's completion and the last reader's buffer accesses
+/// before the in-place reuse that follows (one acquire per call instead
+/// of one per load).
+fn quiescent<T>(cur: &CurrentVersion<T>) -> bool {
+    let settled = cur.producer.as_ref().is_none_or(|p| p.is_finished_relaxed())
+        && cur.pending_readers.load(Ordering::Relaxed) == 0;
+    if settled {
+        std::sync::atomic::fence(Ordering::Acquire);
+    }
+    settled
 }
 
-/// Renaming-disabled hazard edges: WAR from every pending reader, WAW from
-/// the previous producer. Returns whether the spawning task itself is
-/// among the readers (self-aliased input+write declaration).
+/// Renaming-disabled hazard edges: WAR from every pending reader, WAW
+/// from the previous producer. Returns whether the spawning task itself
+/// is among the readers (self-aliased input+write declaration).
+///
+/// Unlike the renaming fast path above, these links happen **under**
+/// the object lock: the ablation path is not perf-critical, and
+/// draining in place keeps `readers_list`'s capacity (and the path
+/// allocation-free) instead of stealing the buffer per writer.
 fn link_hazards<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<T>) -> bool {
     let mut self_alias = false;
     for r in st.readers_list.drain(..) {
@@ -203,30 +242,12 @@ fn region_deps<T: RegionData>(
     region: &Region,
     write: bool,
 ) {
-    let mut log = h.obj.log.lock();
-    // Finished entries can no longer gate anything; prune them unless the
-    // structural recorder needs the history.
-    if !sp.record_graph() {
-        log.retain(|e| !e.node.is_finished());
-    }
+    // Finished entries can no longer gate anything; the log prunes them
+    // eagerly unless the structural recorder needs the history.
+    let prune = !sp.record_graph();
     let me = sp.node().id();
-    for e in log.iter() {
-        if e.node.id() == me {
-            continue; // several regions of one task never self-depend
-        }
-        if !e.region.overlaps(region) {
-            continue;
-        }
-        match (e.write, write) {
-            (true, false) => sp.link(&e.node, EdgeKind::True),
-            (true, true) => sp.link(&e.node, EdgeKind::Output),
-            (false, true) => sp.link(&e.node, EdgeKind::Anti),
-            (false, false) => {} // read-read: no dependency
-        }
-    }
-    log.push(RegionAccess {
-        region: region.clone(),
-        write,
-        node: Arc::clone(sp.node()),
+    let mut log = h.obj.log.lock();
+    log.record(region, write, me, sp.node(), prune, &mut |n, kind| {
+        sp.link(n, kind)
     });
 }

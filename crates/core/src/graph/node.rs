@@ -21,8 +21,29 @@
 //!   so completion publishes successors without ever blocking the
 //!   spawning thread, and enqueueing happens outside any critical
 //!   section.
+//!
+//! ## Spawn-side fast path: inline bodies and node recycling
+//!
+//! Two costs sat on the single spawner thread's critical serial path
+//! (§III pins program scalability on its generation rate): one heap
+//! allocation for the `Arc<TaskNode>` and one for the boxed body per
+//! spawned task. Both are gone in steady state:
+//!
+//! - the body slot is a fixed [`BODY_INLINE`]-byte inline buffer; any
+//!   closure that fits (almost every task body in this tree — a handful
+//!   of bindings) is written in place with monomorphised call/drop
+//!   thunks, no box. Oversized closures fall back to a box stored in
+//!   the same buffer.
+//! - finished nodes are returned to a runtime-wide free stack through
+//!   the intrusive [`free_next`](TaskNode::free_next) hook (see
+//!   `Shared::recycle_node`); the spawner pops them, proves exclusive
+//!   ownership via `Arc::get_mut`, and [`reset_for_reuse`]s them —
+//!   steady-state spawning performs **zero** allocations.
+//!
+//! [`reset_for_reuse`]: TaskNode::reset_for_reuse
 
 use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -30,12 +51,131 @@ use std::sync::Arc;
 use crate::ids::TaskId;
 use crate::runtime::Priority;
 
-/// Task body: a boxed closure executed exactly once on some compute thread.
+/// Boxed fallback for task bodies that do not fit the inline buffer.
 pub(crate) type TaskBody = Box<dyn FnOnce() + Send>;
 
 const STATE_PENDING: u8 = 0;
 const STATE_RUNNING: u8 = 1;
 const STATE_FINISHED: u8 = 2;
+
+/// Inline body capacity. Sized for the hot spawn paths — a couple of
+/// `Arc`-sized bindings plus scalars (storm/chain/region bodies are
+/// 24-64 bytes) — while keeping the node itself small enough that a
+/// storm with tens of thousands of live nodes stays cache-resident.
+/// Bigger closures take the `Box<dyn FnOnce>` fallback (16 bytes,
+/// which always fits), exactly the allocation every body paid before
+/// the inline slot existed.
+const BODY_INLINE: usize = 64;
+
+/// Alignment of the inline buffer; closures needing more fall back to
+/// the box path.
+const BODY_ALIGN: usize = 16;
+
+/// The inline closure buffer. `#[repr(align(16))]` so any
+/// `align_of::<F>() <= BODY_ALIGN` closure can be placed at offset 0.
+#[repr(align(16))]
+struct BodyBuf([MaybeUninit<u8>; BODY_INLINE]);
+
+impl BodyBuf {
+    fn uninit() -> Self {
+        BodyBuf([MaybeUninit::uninit(); BODY_INLINE])
+    }
+
+    fn ptr(&mut self) -> *mut u8 {
+        self.0.as_mut_ptr() as *mut u8
+    }
+}
+
+/// Calls the closure of type `F` stored at `p`, consuming it.
+///
+/// # Safety
+/// `p` must point to a valid, initialised `F` that is never used again.
+unsafe fn call_thunk<F: FnOnce()>(p: *mut u8) {
+    (ptr::read(p as *mut F))()
+}
+
+/// Drops the closure of type `F` stored at `p` without running it.
+///
+/// # Safety
+/// Same contract as [`call_thunk`].
+unsafe fn drop_thunk<F>(p: *mut u8) {
+    ptr::drop_in_place(p as *mut F)
+}
+
+unsafe fn nop_thunk(_: *mut u8) {}
+
+/// The one-shot body slot: an installed closure (inline or boxed-then-
+/// inlined) plus the monomorphised thunks that consume it.
+struct BodySlot {
+    present: bool,
+    /// Bytes of `buf` actually occupied by the closure — `take_body`
+    /// copies only these (zero for the ubiquitous capture-light storms).
+    size: u16,
+    call: unsafe fn(*mut u8),
+    drop_fn: unsafe fn(*mut u8),
+    buf: BodyBuf,
+}
+
+impl BodySlot {
+    fn empty() -> Self {
+        BodySlot {
+            present: false,
+            size: 0,
+            call: nop_thunk,
+            drop_fn: nop_thunk,
+            buf: BodyBuf::uninit(),
+        }
+    }
+
+    fn install<F: FnOnce() + Send + 'static>(&mut self, f: F) {
+        debug_assert!(!self.present, "body installed twice");
+        if std::mem::size_of::<F>() <= BODY_INLINE && std::mem::align_of::<F>() <= BODY_ALIGN {
+            // SAFETY: size and alignment checked; the buffer is dead
+            // (present == false).
+            unsafe { ptr::write(self.buf.ptr() as *mut F, f) };
+            self.size = std::mem::size_of::<F>() as u16;
+            self.call = call_thunk::<F>;
+            self.drop_fn = drop_thunk::<F>;
+        } else {
+            let boxed: TaskBody = Box::new(f);
+            // SAFETY: a box (16-byte fat pointer) always fits the buffer.
+            unsafe { ptr::write(self.buf.ptr() as *mut TaskBody, boxed) };
+            self.size = std::mem::size_of::<TaskBody>() as u16;
+            self.call = call_thunk::<TaskBody>;
+            self.drop_fn = drop_thunk::<TaskBody>;
+        }
+        self.present = true;
+    }
+}
+
+/// A body moved out of its node, ready to run exactly once on the
+/// executing thread. Dropping it without running drops the closure.
+pub(crate) struct TakenBody {
+    call: unsafe fn(*mut u8),
+    drop_fn: unsafe fn(*mut u8),
+    consumed: bool,
+    buf: BodyBuf,
+}
+
+impl TakenBody {
+    pub(crate) fn run(mut self) {
+        // Consumed before the call: if the closure panics it has already
+        // been read out of the buffer, so Drop must not touch it again.
+        self.consumed = true;
+        // SAFETY: `take_body`'s CAS made us the unique consumer; the
+        // buffer holds the closure the matching `call` thunk expects.
+        unsafe { (self.call)(self.buf.ptr()) }
+    }
+}
+
+impl Drop for TakenBody {
+    fn drop(&mut self) {
+        if !self.consumed {
+            // SAFETY: the closure was never consumed; unique ownership.
+            unsafe { (self.drop_fn)(self.buf.ptr()) }
+        }
+    }
+}
 
 /// One link of the lock-free successor list.
 struct SuccNode {
@@ -58,9 +198,13 @@ pub struct TaskNode {
     pub(crate) deps: AtomicUsize,
     pub(crate) state: AtomicU8,
     /// One-shot body slot; see the module docs for the access protocol.
-    body: UnsafeCell<Option<TaskBody>>,
+    body: UnsafeCell<BodySlot>,
     /// Head of the successor stack, or [`closed`] once finished.
     succs: AtomicPtr<SuccNode>,
+    /// Intrusive link for the runtime-wide free stack (node recycling).
+    /// Written exactly once per lifecycle, by the completing thread as
+    /// it pushes the node; cleared on reset.
+    pub(crate) free_next: AtomicPtr<TaskNode>,
 }
 
 // SAFETY: `body` is written once by the spawning thread before the spawn
@@ -79,9 +223,35 @@ impl TaskNode {
             high: AtomicBool::new(priority == Priority::High),
             deps: AtomicUsize::new(1), // spawn guard
             state: AtomicU8::new(STATE_PENDING),
-            body: UnsafeCell::new(None),
+            body: UnsafeCell::new(BodySlot::empty()),
             succs: AtomicPtr::new(ptr::null_mut()),
+            free_next: AtomicPtr::new(ptr::null_mut()),
         })
+    }
+
+    /// Re-arm a finished, exclusively-owned node for a new task. The
+    /// caller proves exclusivity by reaching this through
+    /// `Arc::get_mut`, which also gives the happens-before edge over
+    /// the completing thread's writes (the pool's Acquire drain of the
+    /// free stack pairs with the completing thread's Release push).
+    pub(crate) fn reset_for_reuse(&mut self, id: TaskId, name: &'static str, priority: Priority) {
+        debug_assert_eq!(
+            *self.state.get_mut(),
+            STATE_FINISHED,
+            "only finished nodes are recycled"
+        );
+        debug_assert!(
+            !self.body.get_mut().present,
+            "finished node still owns a body"
+        );
+        debug_assert_eq!(*self.succs.get_mut(), closed(), "successor list not closed");
+        self.id = id;
+        self.name = name;
+        *self.high.get_mut() = priority == Priority::High;
+        *self.deps.get_mut() = 1; // spawn guard
+        *self.state.get_mut() = STATE_PENDING;
+        *self.succs.get_mut() = ptr::null_mut();
+        *self.free_next.get_mut() = ptr::null_mut();
     }
 
     pub(crate) fn id(&self) -> TaskId {
@@ -107,6 +277,12 @@ impl TaskNode {
     /// True once the task body has run to completion.
     pub(crate) fn is_finished(&self) -> bool {
         self.state.load(Ordering::Acquire) == STATE_FINISHED
+    }
+
+    /// Relaxed probe of the finished state, for callers that batch their
+    /// ordering into one explicit Acquire fence (see `dep::quiescent`).
+    pub(crate) fn is_finished_relaxed(&self) -> bool {
+        self.state.load(Ordering::Relaxed) == STATE_FINISHED
     }
 
     /// Try to register `succ` as a successor of `self`.
@@ -158,12 +334,14 @@ impl TaskNode {
     }
 
     /// Install the body. Must happen before the spawn guard is released.
-    pub(crate) fn install_body(&self, body: TaskBody) {
+    /// Closures up to [`BODY_INLINE`] bytes are stored inline in the
+    /// node (no allocation); larger ones are boxed.
+    pub(crate) fn install_body<F: FnOnce() + Send + 'static>(&self, body: F) {
         // SAFETY: called once, by the spawning thread, before the spawn
         // guard is released — no other thread can reach the slot yet.
         let slot = unsafe { &mut *self.body.get() };
-        debug_assert!(slot.is_none(), "body installed twice for {:?}", self.id);
-        *slot = Some(body);
+        debug_assert!(!slot.present, "body installed twice for {:?}", self.id);
+        slot.install(body);
     }
 
     /// Take the body for execution. The `PENDING -> RUNNING` CAS selects
@@ -171,7 +349,7 @@ impl TaskNode {
     /// scheduler bug) loses the CAS and panics *before* touching the
     /// slot, so the tripwire the old mutex provided stays a clean panic
     /// rather than a data race.
-    pub(crate) fn take_body(&self) -> TaskBody {
+    pub(crate) fn take_body(&self) -> TakenBody {
         if self
             .state
             .compare_exchange(
@@ -184,11 +362,43 @@ impl TaskNode {
         {
             panic!("task {:?} ({}) scheduled twice", self.id, self.name);
         }
+        self.take_body_inner()
+    }
+
+    /// [`take_body`](Self::take_body) for a single-threaded runtime
+    /// (`threads == 1`): the main thread is the only consumer, so the
+    /// consumer-election CAS degrades to a load + store while keeping
+    /// the double-schedule tripwire.
+    pub(crate) fn take_body_single(&self) -> TakenBody {
+        if self.state.load(Ordering::Relaxed) != STATE_PENDING {
+            panic!("task {:?} ({}) scheduled twice", self.id, self.name);
+        }
+        self.state.store(STATE_RUNNING, Ordering::Relaxed);
+        self.take_body_inner()
+    }
+
+    fn take_body_inner(&self) -> TakenBody {
         // SAFETY: the CAS above makes this thread the slot's unique
         // consumer; installation happened-before readiness (deps release
         // / queue hand-off).
-        unsafe { (*self.body.get()).take() }
-            .unwrap_or_else(|| panic!("task {:?} ({}) scheduled twice", self.id, self.name))
+        let slot = unsafe { &mut *self.body.get() };
+        if !slot.present {
+            panic!("task {:?} ({}) scheduled twice", self.id, self.name);
+        }
+        slot.present = false;
+        let mut taken = TakenBody {
+            call: slot.call,
+            drop_fn: slot.drop_fn,
+            consumed: false,
+            buf: BodyBuf::uninit(),
+        };
+        // Move the closure bytes out of the node (a Rust move is a
+        // bitwise copy) so the node can complete and be recycled while
+        // the body is still running. Only the occupied prefix is copied.
+        // SAFETY: both buffers are BODY_INLINE >= size bytes; the slot
+        // holds a live closure that is now owned by `taken`.
+        unsafe { ptr::copy_nonoverlapping(slot.buf.ptr(), taken.buf.ptr(), slot.size as usize) };
+        taken
     }
 
     /// Mark the task finished, release one dependency of every registered
@@ -200,9 +410,27 @@ impl TaskNode {
     /// and may do so freely. Successor `Arc`s that did not become ready
     /// are dropped here, so finished chains do not keep the whole graph
     /// alive.
-    pub(crate) fn complete(&self, mut on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
+    pub(crate) fn complete(&self, on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
         let head = self.succs.swap(closed(), Ordering::AcqRel);
         self.state.store(STATE_FINISHED, Ordering::Release);
+        self.release_successors(head, on_ready)
+    }
+
+    /// [`complete`](Self::complete) for a single-threaded runtime: the
+    /// main thread is the only registrar and the only completer, so the
+    /// list close and the finish flag need no RMW or release ordering.
+    pub(crate) fn complete_single(&self, on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
+        let head = self.succs.load(Ordering::Relaxed);
+        self.succs.store(closed(), Ordering::Relaxed);
+        self.state.store(STATE_FINISHED, Ordering::Relaxed);
+        self.release_successors(head, on_ready)
+    }
+
+    fn release_successors(
+        &self,
+        head: *mut SuccNode,
+        mut on_ready: impl FnMut(Arc<TaskNode>),
+    ) -> usize {
         // The stack is LIFO; reverse it so release order matches
         // registration (program) order — the order the scheduler-policy
         // and determinism tests pin.
@@ -234,8 +462,16 @@ impl TaskNode {
 
 impl Drop for TaskNode {
     fn drop(&mut self) {
-        // A node dropped before completing (runtime teardown mid-flight)
-        // still owns its successor links.
+        // A node dropped before running (runtime teardown mid-flight)
+        // still owns its installed body.
+        let slot = self.body.get_mut();
+        if slot.present {
+            slot.present = false;
+            // SAFETY: exclusive access in Drop; the closure was never
+            // consumed.
+            unsafe { (slot.drop_fn)(slot.buf.ptr()) };
+        }
+        // It also still owns its successor links.
         let head = *self.succs.get_mut();
         if head != closed() {
             let mut p = head;
@@ -292,8 +528,8 @@ mod tests {
         assert!(p.add_successor(&s));
         s.retain_dep(); // caller counts the edge
         assert!(!s.release_dep()); // guard release: still 1 outstanding
-        p.install_body(Box::new(|| {}));
-        let _ = p.take_body();
+        p.install_body(|| {});
+        p.take_body().run();
         let ready = complete_collect(&p);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].id(), TaskId(2));
@@ -302,8 +538,8 @@ mod tests {
     #[test]
     fn edge_to_finished_is_skipped() {
         let p = node(1);
-        p.install_body(Box::new(|| {}));
-        let _ = p.take_body();
+        p.install_body(|| {});
+        p.take_body().run();
         let _ = complete_collect(&p);
         let s = node(2);
         assert!(!p.add_successor(&s));
@@ -354,8 +590,75 @@ mod tests {
     #[should_panic(expected = "scheduled twice")]
     fn double_schedule_panics() {
         let n = node(1);
-        n.install_body(Box::new(|| {}));
+        n.install_body(|| {});
+        n.take_body().run();
         let _ = n.take_body();
-        let _ = n.take_body();
+    }
+
+    #[test]
+    fn inline_body_runs_and_drops_captures() {
+        // A closure capturing an Arc: the capture must be dropped exactly
+        // once whether the body runs or not.
+        let token = Arc::new(());
+        let n = node(1);
+        let t = Arc::clone(&token);
+        n.install_body(move || drop(t));
+        assert_eq!(Arc::strong_count(&token), 2);
+        n.take_body().run();
+        assert_eq!(Arc::strong_count(&token), 1);
+
+        // Taken but never run: TakenBody's Drop releases the capture.
+        let n = node(2);
+        let t = Arc::clone(&token);
+        n.install_body(move || drop(t));
+        drop(n.take_body());
+        assert_eq!(Arc::strong_count(&token), 1);
+
+        // Installed but never taken: TaskNode's Drop releases it.
+        let n = node(3);
+        let t = Arc::clone(&token);
+        n.install_body(move || drop(t));
+        drop(n);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn oversized_body_boxes_and_runs() {
+        // 256 bytes of captured state: exceeds BODY_INLINE, takes the
+        // boxed fallback, must still run correctly.
+        let big = [7u8; 256];
+        let out = Arc::new(AtomicUsize::new(0));
+        let o = Arc::clone(&out);
+        let n = node(1);
+        n.install_body(move || {
+            o.store(big.iter().map(|&b| b as usize).sum(), Ordering::SeqCst)
+        });
+        n.take_body().run();
+        assert_eq!(out.load(Ordering::SeqCst), 7 * 256);
+    }
+
+    #[test]
+    fn reset_for_reuse_rearms_a_finished_node() {
+        let mut n = node(1);
+        n.install_body(|| {});
+        n.take_body().run();
+        let _ = complete_collect(&n);
+        let node = Arc::get_mut(&mut n).expect("sole owner");
+        node.reset_for_reuse(TaskId(9), "again", Priority::High);
+        assert_eq!(n.id(), TaskId(9));
+        assert_eq!(n.name(), "again");
+        assert_eq!(n.priority(), Priority::High);
+        assert!(!n.is_finished());
+        // Full second lifecycle on the recycled node.
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        n.install_body(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(n.release_dep()); // spawn guard was re-armed
+        n.take_body().run();
+        let _ = complete_collect(&n);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert!(n.is_finished());
     }
 }

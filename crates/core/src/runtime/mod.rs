@@ -3,7 +3,8 @@
 
 pub mod spawner;
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,8 +16,9 @@ use crate::data::object::{DataObject, Handle};
 use crate::data::region_handle::{RegionData, RegionHandle, RegionObject};
 use crate::data::representant::Representant;
 use crate::data::TaskData;
+use crate::graph::node::TaskNode;
 use crate::graph::record::GraphRecord;
-use crate::ids::ObjectId;
+use crate::ids::{ObjectId, TaskId};
 use crate::sched::queues::{Job, SleepCtl};
 use crate::sched::worker::{find_task, run_task, worker_loop};
 use crate::stats::{Stats, StatsSnapshot};
@@ -48,8 +50,11 @@ pub struct Shared {
     pub(crate) central: Injector<Job>,
     /// FIFO-stealing ends of every thread's own list (index 0 = main).
     pub(crate) stealers: Vec<Stealer<Job>>,
-    /// Spawned-but-unfinished task instances (the live graph size).
-    pub(crate) live: AtomicUsize,
+    /// Tasks that have finished executing. The live graph size is
+    /// `next_task - finished`: the spawn count is the single-writer
+    /// `next_task` counter the spawner already maintains, so spawning
+    /// pays no RMW for liveness accounting — only completion does.
+    pub(crate) finished: AtomicU64,
     /// Bytes held by live data versions (initial buffers + renamed
     /// copies); watched by the §III memory-limit blocking condition.
     pub(crate) live_bytes: Arc<AtomicUsize>,
@@ -59,6 +64,12 @@ pub struct Shared {
     pub(crate) tracer: Option<TraceCollector>,
     pub(crate) sleep: SleepCtl,
     pub(crate) shutdown: AtomicBool,
+    /// Head of the intrusive free stack of recycled task nodes (the
+    /// spawn-side node pool). Completing threads push finished nodes
+    /// through [`TaskNode::free_next`]; only the spawner pops, with a
+    /// single `swap` that detaches the whole chain, so the stack is
+    /// MPSC and immune to ABA.
+    pub(crate) free_nodes: AtomicPtr<TaskNode>,
 }
 
 impl Shared {
@@ -67,6 +78,109 @@ impl Shared {
         if let Some(t) = &self.tracer {
             t.record(thread, kind);
         }
+    }
+
+    /// Spawned-but-unfinished task instances (the live graph size).
+    /// Exact on the spawning thread (it owns `next_task`); the Acquire
+    /// load of `finished` orders completed tasks' effects before the
+    /// caller proceeds (barrier exit, throttle release).
+    #[inline]
+    pub(crate) fn live_now(&self) -> usize {
+        let spawned = self.next_task.load(Ordering::Relaxed);
+        let finished = self.finished.load(Ordering::Acquire);
+        spawned.saturating_sub(finished) as usize
+    }
+
+    /// Hand a finished node to the spawn-side pool. Called by the thread
+    /// that ran the task, after `complete` — the last point the runtime
+    /// touches the node. The node may still be referenced elsewhere
+    /// (e.g. as an object's producer); the pool proves exclusivity with
+    /// `Arc::get_mut` before reuse.
+    #[inline]
+    pub(crate) fn recycle_node(&self, node: Arc<TaskNode>) {
+        let raw = Arc::into_raw(node) as *mut TaskNode;
+        let mut head = self.free_nodes.load(Ordering::Relaxed);
+        loop {
+            // SAFETY: we own the strong reference behind `raw` until the
+            // CAS publishes it; `free_next` has a single writer per node
+            // lifecycle (this push).
+            unsafe { (*raw).free_next.store(head, Ordering::Relaxed) };
+            match self.free_nodes.compare_exchange_weak(
+                head,
+                raw,
+                Ordering::Release,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Detach the whole free stack into `cache` (newest first). The
+    /// Acquire swap pairs with the Release pushes in
+    /// [`recycle_node`](Self::recycle_node), so every completing
+    /// thread's writes to a popped node happened-before the spawner
+    /// reads it. Returns whether anything was drained.
+    pub(crate) fn drain_free_nodes(&self, cache: &mut Vec<Arc<TaskNode>>) -> bool {
+        let mut p = self.free_nodes.swap(std::ptr::null_mut(), Ordering::Acquire);
+        if p.is_null() {
+            return false;
+        }
+        while !p.is_null() {
+            // SAFETY: the swap made this thread the chain's unique
+            // owner; each raw pointer was produced by `Arc::into_raw`.
+            let next = unsafe { (*p).free_next.load(Ordering::Relaxed) };
+            let node = unsafe { Arc::from_raw(p) };
+            if cache.len() < NODE_CACHE_MAX {
+                cache.push(node);
+            }
+            p = next;
+        }
+        true
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // Release the strong references parked in the free stack.
+        let mut p = *self.free_nodes.get_mut();
+        while !p.is_null() {
+            // SAFETY: exclusive access in Drop; pointers came from
+            // `Arc::into_raw`.
+            let next = unsafe { *(*p).free_next.get_mut() };
+            drop(unsafe { Arc::from_raw(p) });
+            p = next;
+        }
+    }
+}
+
+/// Upper bound on spawner-side cached free nodes; everything beyond it
+/// is dropped at drain time (the pool should hold about one throttle
+/// window's worth of nodes, not the whole program).
+const NODE_CACHE_MAX: usize = 4096;
+
+/// Exclusive access to a pooled node, or `None` if it is still
+/// referenced elsewhere. This is `Arc::get_mut` minus the weak-count
+/// lock round-trip (two RMWs on the per-spawn critical path):
+///
+/// - `strong_count == 1` means this `Arc` is the only strong handle, and
+///   since we hold it, no thread can mint another;
+/// - the crate never creates a `Weak<TaskNode>` (the only raw pointers —
+///   the free-stack links — are strong references converted with
+///   `into_raw`/`from_raw`), so there is no weak upgrade to race with;
+///   the debug assert keeps that invariant honest;
+/// - the Acquire fence pairs with the Release decrement of the last
+///   dropped clone, ordering that thread's final accesses before ours.
+fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
+    if Arc::strong_count(node) == 1 {
+        debug_assert_eq!(Arc::weak_count(node), 0, "Weak<TaskNode> must never exist");
+        std::sync::atomic::fence(Ordering::Acquire);
+        // SAFETY: sole strong owner, no weak refs (above); `&mut Arc`
+        // guarantees no concurrent use of this handle.
+        Some(unsafe { &mut *(Arc::as_ptr(node) as *mut TaskNode) })
+    } else {
+        None
     }
 }
 
@@ -90,6 +204,10 @@ pub struct Runtime {
     pub(crate) shared: Arc<Shared>,
     /// The main thread's own ready list (thread index 0).
     pub(crate) main_local: Worker<Job>,
+    /// Spawner-side cache of recycled task nodes, refilled from
+    /// [`Shared::free_nodes`]. `RefCell` keeps `Runtime: !Sync`, which
+    /// is load-bearing: only the single spawning thread touches it.
+    node_cache: RefCell<Vec<Arc<TaskNode>>>,
     joins: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -114,12 +232,13 @@ impl Runtime {
             main_q: Injector::new(),
             central: Injector::new(),
             stealers,
-            live: AtomicUsize::new(0),
+            finished: AtomicU64::new(0),
             live_bytes: Arc::new(AtomicUsize::new(0)),
             next_task: AtomicU64::new(0),
             next_obj: AtomicU64::new(0),
             sleep: SleepCtl::default(),
             shutdown: AtomicBool::new(false),
+            free_nodes: AtomicPtr::new(std::ptr::null_mut()),
         });
         let main_local = locals.remove(0);
         let joins = locals
@@ -136,8 +255,31 @@ impl Runtime {
         Runtime {
             shared,
             main_local,
+            node_cache: RefCell::new(Vec::new()),
             joins,
         }
+    }
+
+    /// Obtain a task node: a recycled one from the pool when possible
+    /// (steady-state spawning is then allocation-free), else a fresh
+    /// allocation. A candidate still referenced elsewhere (an object's
+    /// producer slot, a reader list) is simply dropped and freed by its
+    /// remaining holder.
+    pub(crate) fn acquire_node(&self, id: TaskId, name: &'static str) -> Arc<TaskNode> {
+        if self.shared.cfg.node_pool {
+            let mut cache = self.node_cache.borrow_mut();
+            if cache.is_empty() {
+                self.shared.drain_free_nodes(&mut cache);
+            }
+            while let Some(mut node) = cache.pop() {
+                if let Some(n) = exclusive_node_mut(&mut node) {
+                    n.reset_for_reuse(id, name, Priority::Normal);
+                    self.shared.stats.node_pool_hits();
+                    return node;
+                }
+            }
+        }
+        TaskNode::new(id, name, Priority::Normal)
     }
 
     /// Number of compute threads (main + workers).
@@ -216,7 +358,11 @@ impl Runtime {
         self.shared.next_obj.store(next, Ordering::Relaxed);
         let id = ObjectId(next);
         RegionHandle {
-            obj: Arc::new(RegionObject::new(id, value)),
+            obj: Arc::new(RegionObject::new(
+                id,
+                value,
+                self.shared.cfg.indexed_regions,
+            )),
         }
     }
 
@@ -251,7 +397,7 @@ impl Runtime {
     pub fn barrier(&self) {
         self.shared.stats.barriers();
         self.shared.trace_event(0, EventKind::BarrierBegin);
-        while self.shared.live.load(Ordering::Acquire) > 0 {
+        while self.shared.live_now() > 0 {
             if !self.help_once() {
                 self.shared
                     .sleep
@@ -332,7 +478,7 @@ impl Runtime {
         loop {
             {
                 let log = h.obj.log.lock();
-                if log.iter().all(|e| e.node.is_finished()) {
+                if log.all_finished() {
                     // SAFETY: all accessors finished; main thread is the
                     // only spawner, so no new ones can appear.
                     return unsafe { f(&*h.obj.buf.get()) };
@@ -349,7 +495,7 @@ impl Runtime {
         loop {
             {
                 let log = h.obj.log.lock();
-                if log.iter().all(|e| e.node.is_finished()) {
+                if log.all_finished() {
                     // SAFETY: as in `with_region`, plus exclusivity because
                     // no task is live on this object.
                     unsafe { f(&mut *h.obj.buf.get()) };
@@ -369,7 +515,7 @@ impl Runtime {
 
     /// Number of live (spawned, unfinished) tasks.
     pub fn live_tasks(&self) -> usize {
-        self.shared.live.load(Ordering::Acquire)
+        self.shared.live_now()
     }
 
     /// Bytes currently held by live data versions (initial buffers plus
@@ -396,7 +542,15 @@ impl Runtime {
     /// task was run. This is the "main thread behaves as a worker" path.
     pub(crate) fn help_once(&self) -> bool {
         if let Some((job, src)) = find_task(&self.shared, &self.main_local, 0) {
-            run_task(&self.shared, &self.main_local, 0, job, src);
+            let done = run_task(&self.shared, &self.main_local, 0, job, src);
+            if self.shared.cfg.node_pool {
+                // The helping thread *is* the spawner: skip the shared
+                // free stack and stash the node straight into the cache.
+                let mut cache = self.node_cache.borrow_mut();
+                if cache.len() < NODE_CACHE_MAX {
+                    cache.push(done);
+                }
+            }
             true
         } else {
             false
@@ -407,10 +561,10 @@ impl Runtime {
     /// (graph-size limit or memory limit), helping run tasks meanwhile.
     pub(crate) fn throttle(&self) {
         if let Some(limit) = self.shared.cfg.graph_size_limit {
-            if self.shared.live.load(Ordering::Acquire) > limit {
+            if self.shared.live_now() > limit {
                 self.shared.stats.throttle_blocks();
                 self.shared.trace_event(0, EventKind::BarrierBegin);
-                while self.shared.live.load(Ordering::Acquire) > limit {
+                while self.shared.live_now() > limit {
                     if !self.help_once() {
                         std::thread::yield_now();
                     }
@@ -427,7 +581,7 @@ impl Runtime {
                 // shrink further, so stop blocking then (the limit is a
                 // back-pressure knob, not a hard allocation cap).
                 while self.shared.live_bytes.load(Ordering::Acquire) > limit
-                    && self.shared.live.load(Ordering::Acquire) > 0
+                    && self.shared.live_now() > 0
                 {
                     if !self.help_once() {
                         std::thread::yield_now();

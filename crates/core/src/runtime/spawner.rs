@@ -6,7 +6,16 @@
 //! emits), and finally installs the body and releases the task to the
 //! scheduler. The `task_def!` macro generates this sequence; the builder
 //! API is public for region-based and dynamic call sites.
+//!
+//! Every cycle here sits on the §III serial generation path, so the
+//! spawner leans on the spawn-side fast path: the node comes from the
+//! recycling pool ([`Runtime::acquire_node`]), the body is installed
+//! inline in the node (no box for ordinary closures), `submit` moves the
+//! node into the ready queue without a spare refcount round-trip, and
+//! the `renaming`/`record_graph` configuration is cached as plain bools
+//! so the per-parameter analyser never chases shared state for them.
 
+use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -30,8 +39,17 @@ use crate::trace::EventKind;
 /// programming error and panics (the node already exists in the graph).
 pub struct TaskSpawner<'rt> {
     rt: &'rt Runtime,
-    node: Arc<TaskNode>,
+    /// `ManuallyDrop` so `submit` can move the node straight into the
+    /// ready queue instead of cloning and dropping (two refcount RMWs
+    /// per task otherwise). The drop guard below releases it on the
+    /// not-submitted error path.
+    node: ManuallyDrop<Arc<TaskNode>>,
     submitted: bool,
+    /// Cached `cfg.renaming` — hot in the per-parameter analyser.
+    renaming: bool,
+    /// Cached "structural recording is on": when false, `link` skips
+    /// the graph mutex entirely.
+    record: bool,
     /// Edges on which a producer retained an `Arc` to this node (i.e.
     /// `add_successor` succeeded). While this is zero, no other thread
     /// can reach the node, which lets `submit` skip the dependency-release
@@ -47,8 +65,9 @@ impl<'rt> TaskSpawner<'rt> {
         let next = rt.shared.next_task.load(Ordering::Relaxed) + 1;
         rt.shared.next_task.store(next, Ordering::Relaxed);
         let id = TaskId(next);
-        let node = TaskNode::new(id, name, crate::runtime::Priority::Normal);
-        rt.shared.live.fetch_add(1, Ordering::AcqRel);
+        let node = rt.acquire_node(id, name);
+        // Liveness accounting is free here: `next_task` above *is* the
+        // spawn count; only completion pays an RMW (`Shared::finished`).
         rt.shared.stats.tasks_spawned();
         if let Some(g) = &rt.shared.graph {
             g.lock().add_node(NodeInfo {
@@ -59,8 +78,10 @@ impl<'rt> TaskSpawner<'rt> {
         }
         TaskSpawner {
             rt,
-            node,
+            node: ManuallyDrop::new(node),
             submitted: false,
+            renaming: rt.shared.cfg.renaming,
+            record: rt.shared.cfg.record_graph,
             counted_edges: std::cell::Cell::new(0),
         }
     }
@@ -130,10 +151,12 @@ impl<'rt> TaskSpawner<'rt> {
     where
         F: FnOnce() + Send + 'static,
     {
-        self.node.install_body(Box::new(body));
+        self.node.install_body(body);
         self.rt.shared.trace_event(0, EventKind::Spawn(self.node.id()));
         self.submitted = true;
-        let node = Arc::clone(&self.node);
+        // SAFETY: `submitted` is set, so Drop will not touch `node`
+        // again; this is the move that replaces the old clone+drop pair.
+        let node = unsafe { ManuallyDrop::take(&mut self.node) };
         if self.counted_edges.get() == 0 {
             // Born ready, and no producer ever retained an Arc to this
             // node, so no other thread can touch `deps`: settle the
@@ -153,11 +176,15 @@ impl<'rt> TaskSpawner<'rt> {
     }
 
     pub(crate) fn renaming(&self) -> bool {
-        self.rt.shared.cfg.renaming
+        self.renaming
     }
 
     pub(crate) fn record_graph(&self) -> bool {
-        self.rt.shared.graph.is_some()
+        self.record
+    }
+
+    pub(crate) fn version_pooling(&self) -> bool {
+        self.rt.shared.cfg.version_pool
     }
 
     pub(crate) fn stats(&self) -> &Stats {
@@ -198,12 +225,16 @@ impl<'rt> TaskSpawner<'rt> {
 
 impl Drop for TaskSpawner<'_> {
     fn drop(&mut self) {
-        if !self.submitted && !std::thread::panicking() {
-            panic!(
-                "TaskSpawner for {:?} ({}) dropped without submit()",
-                self.node.id(),
-                self.node.name()
-            );
+        if !self.submitted {
+            // SAFETY: `submit` was never reached, so the node is still
+            // alive in the ManuallyDrop slot; take it exactly once.
+            let node = unsafe { ManuallyDrop::take(&mut self.node) };
+            let id = node.id();
+            let name = node.name();
+            drop(node);
+            if !std::thread::panicking() {
+                panic!("TaskSpawner for {:?} ({}) dropped without submit()", id, name);
+            }
         }
     }
 }

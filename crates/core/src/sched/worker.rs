@@ -93,8 +93,17 @@ pub fn enqueue_ready(shared: &Shared, local: Option<&Worker<Job>>, job: Job) {
     }
 }
 
-/// Execute one task and propagate readiness to its successors.
-pub fn run_task(shared: &Shared, local: &Worker<Job>, idx: usize, job: Job, source: TaskSource) {
+/// Execute one task and propagate readiness to its successors. Returns
+/// the finished node so the caller can recycle it into the spawn-side
+/// pool (workers push the shared free stack; the main thread's help
+/// path stashes it straight into the spawner cache).
+pub fn run_task(
+    shared: &Shared,
+    local: &Worker<Job>,
+    idx: usize,
+    job: Job,
+    source: TaskSource,
+) -> Job {
     match source {
         TaskSource::HighPriority => shared.stats.hp_pops(idx),
         TaskSource::OwnList => shared.stats.own_pops(idx),
@@ -105,19 +114,40 @@ pub fn run_task(shared: &Shared, local: &Worker<Job>, idx: usize, job: Job, sour
         }
     }
     shared.trace_event(idx, EventKind::Start(job.id(), job.name()));
-    let body = job.take_body();
-    body(); // bindings drop here: read windows close, pending counts fall
+    // `threads == 1` means the main thread is the only consumer and the
+    // only completer: the one-shot protocols degrade to plain loads and
+    // stores (no CAS, no RMW, no wakeups — nobody else exists to race
+    // or to wake). This is the §III spawner-limited case the paper pins
+    // scalability on, so the serial path is kept as lean as possible.
+    let single = shared.cfg.threads == 1;
+    let body = if single {
+        job.take_body_single()
+    } else {
+        job.take_body()
+    };
+    body.run(); // bindings drop here: read windows close, pending counts fall
     shared.trace_event(idx, EventKind::End(job.id()));
 
     // The completion hand-off is lock-free: `complete` detaches the
     // successor list with one swap and we enqueue while walking it —
     // no lock is held anywhere on this path.
-    let n_ready = job.complete(|succ| enqueue_ready(shared, Some(local), succ));
-    let was_live = shared.live.fetch_sub(1, Ordering::AcqRel);
-    if was_live == 1 || n_ready > 1 {
-        // Everything done (wake the barrier) or surplus work (wake thieves).
-        shared.sleep.notify_all();
+    if single {
+        let _ = job.complete_single(|succ| enqueue_ready(shared, Some(local), succ));
+        let f = shared.finished.load(Ordering::Relaxed) + 1;
+        shared.finished.store(f, Ordering::Relaxed);
+    } else {
+        let n_ready = job.complete(|succ| enqueue_ready(shared, Some(local), succ));
+        let finished_now = shared.finished.fetch_add(1, Ordering::AcqRel) + 1;
+        // `next_task` may lag the spawner by an instant from here; a
+        // missed all-done wake is caught by the barrier's bounded park,
+        // like every other lost-wakeup window in the sleep protocol.
+        if finished_now == shared.next_task.load(Ordering::Acquire) || n_ready > 1 {
+            // Everything done (wake the barrier) or surplus work (wake
+            // thieves).
+            shared.sleep.notify_all();
+        }
     }
+    job
 }
 
 /// Body of each spawned worker thread.
@@ -137,7 +167,12 @@ pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
         if let Some((job, src)) = find_task(&shared, &local, idx) {
             idle_scans = 0;
             parks = 0;
-            run_task(&shared, &local, idx, job, src);
+            let done = run_task(&shared, &local, idx, job, src);
+            if shared.cfg.node_pool {
+                // Spawn-side fast path: hand the finished node back via
+                // the lock-free free stack; the spawner recycles it.
+                shared.recycle_node(done);
+            }
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {

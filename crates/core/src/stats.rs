@@ -48,6 +48,10 @@ pub struct Stats {
     pub(crate) renames: AtomicU64,
     /// Deferred copy-ins performed for renamed `inout` parameters.
     pub(crate) copy_ins: AtomicU64,
+    /// Task spawns served by a recycled node from the spawn-side pool.
+    pub(crate) node_pool_hits: AtomicU64,
+    /// Renames served by a recycled version buffer from the object's pool.
+    pub(crate) version_pool_hits: AtomicU64,
     /// Per-thread pop counters, indexed by thread index (0 = main).
     shards: Box<[PopShard]>,
     /// Barriers executed.
@@ -89,6 +93,8 @@ impl Stats {
         anti_edges,
         renames,
         copy_ins,
+        node_pool_hits,
+        version_pool_hits,
         barriers,
         throttle_blocks,
     );
@@ -100,6 +106,8 @@ impl Stats {
             anti_edges: AtomicU64::new(0),
             renames: AtomicU64::new(0),
             copy_ins: AtomicU64::new(0),
+            node_pool_hits: AtomicU64::new(0),
+            version_pool_hits: AtomicU64::new(0),
             shards: (0..threads.max(1)).map(|_| PopShard::default()).collect(),
             barriers: AtomicU64::new(0),
             throttle_blocks: AtomicU64::new(0),
@@ -140,6 +148,8 @@ impl Stats {
             anti_edges: ld(&self.anti_edges),
             renames: ld(&self.renames),
             copy_ins: ld(&self.copy_ins),
+            node_pool_hits: ld(&self.node_pool_hits),
+            version_pool_hits: ld(&self.version_pool_hits),
             own_pops,
             main_pops,
             hp_pops,
@@ -164,6 +174,10 @@ pub struct StatsSnapshot {
     pub anti_edges: u64,
     pub renames: u64,
     pub copy_ins: u64,
+    /// Spawns that reused a pooled task node (spawn-side fast path).
+    pub node_pool_hits: u64,
+    /// Renames that reused a pooled version buffer instead of allocating.
+    pub version_pool_hits: u64,
     pub own_pops: u64,
     pub main_pops: u64,
     pub hp_pops: u64,

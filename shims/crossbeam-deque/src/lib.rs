@@ -441,6 +441,70 @@ struct Block<T> {
     slots: [Slot<T>; BLOCK_CAP],
 }
 
+/// Slots in the per-injector cache of retired blocks. Sized for the
+/// deepest steady-state backlog the runtime throttles to (a few hundred
+/// queued tasks ≈ ten in-flight blocks): with the cache warm, a drain-
+/// refill cycle allocates nothing.
+const BLOCK_CACHE: usize = 12;
+
+/// Lock-free cache of fully-consumed blocks awaiting reuse. Each slot
+/// is an independent single-pointer exchange (`null` = empty), so there
+/// is no ABA hazard: `put` installs with a CAS from null and `take`
+/// detaches with a swap, both owning the block outright on success.
+struct BlockCache<T> {
+    slots: [AtomicPtr<Block<T>>; BLOCK_CACHE],
+}
+
+impl<T> BlockCache<T> {
+    fn new() -> Self {
+        BlockCache {
+            slots: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// Reuse a cached block, already zeroed by `put`.
+    fn take(&self) -> Option<*mut Block<T>> {
+        for slot in &self.slots {
+            // Probe with a plain load first so scanning an empty cache
+            // costs loads, not locked exchanges.
+            if !slot.load(Ordering::Relaxed).is_null() {
+                let p = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+                if !p.is_null() {
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+
+    /// Park a retired block for reuse (or free it if the cache is full).
+    ///
+    /// # Safety
+    /// The caller must own `block` exclusively (the same precondition as
+    /// deallocating it).
+    unsafe fn put(&self, block: *mut Block<T>) {
+        // Restore the all-zeroes initial image (`next` null, slot states
+        // clear, values uninit) before publishing; the Release CAS makes
+        // the zeroing visible to whichever producer takes the block.
+        std::ptr::write_bytes(block, 0, 1);
+        for slot in &self.slots {
+            if slot.load(Ordering::Relaxed).is_null()
+                && slot
+                    .compare_exchange(
+                        std::ptr::null_mut(),
+                        block,
+                        Ordering::Release,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+            {
+                return;
+            }
+        }
+        drop(Box::from_raw(block));
+    }
+}
+
 impl<T> Block<T> {
     fn alloc() -> *mut Block<T> {
         // Null `next`, zero states, uninit values: all-zeroes is a valid
@@ -463,10 +527,11 @@ impl<T> Block<T> {
 
     /// Reclaim a fully consumed block. Slots `start..` that are not yet
     /// `READ` belong to consumers still copying their value out; the
-    /// DESTROY bit hands responsibility for the deallocation to the
+    /// DESTROY bit hands responsibility for the reclamation to the
     /// last such consumer. (The caller's own slot is excluded — it
-    /// initiated the destruction.)
-    unsafe fn destroy(this: *mut Block<T>, start: usize) {
+    /// initiated the destruction.) The reclaimed block is parked in the
+    /// injector's block cache for reuse rather than freed.
+    unsafe fn destroy(this: *mut Block<T>, start: usize, cache: &BlockCache<T>) {
         for i in start..BLOCK_CAP - 1 {
             let slot = &(*this).slots[i];
             if slot.state.load(Ordering::Acquire) & READ == 0
@@ -476,7 +541,7 @@ impl<T> Block<T> {
                 return;
             }
         }
-        drop(Box::from_raw(this));
+        cache.put(this);
     }
 }
 
@@ -490,6 +555,10 @@ struct Position<T> {
 pub struct Injector<T> {
     head: Position<T>,
     tail: Position<T>,
+    /// Retired blocks awaiting reuse; keeps a steady drain-refill cycle
+    /// allocation-free (the spawn-side fast path's alloc budget counts
+    /// on this).
+    cache: BlockCache<T>,
     _marker: PhantomData<T>,
 }
 
@@ -514,8 +583,15 @@ impl<T> Injector<T> {
                 index: AtomicUsize::new(0),
                 block: AtomicPtr::new(first),
             },
+            cache: BlockCache::new(),
             _marker: PhantomData,
         }
+    }
+
+    /// A zeroed block: recycled from the cache when one is parked there,
+    /// freshly allocated otherwise.
+    fn alloc_block(&self) -> *mut Block<T> {
+        self.cache.take().unwrap_or_else(Block::alloc)
     }
 
     pub fn push(&self, task: T) {
@@ -535,7 +611,7 @@ impl<T> Injector<T> {
             // About to claim the last usable slot: pre-allocate the
             // successor so the critical publication window stays short.
             if offset + 1 == BLOCK_CAP && next_block.is_none() {
-                next_block = Some(Block::alloc());
+                next_block = Some(self.alloc_block());
             }
             let new_tail = tail.wrapping_add(1 << SHIFT);
             match self.tail.index.compare_exchange_weak(
@@ -558,7 +634,8 @@ impl<T> Injector<T> {
                     slot.value.get().write(MaybeUninit::new(task));
                     slot.state.fetch_or(WRITE, Ordering::Release);
                     if let Some(unused) = next_block {
-                        drop(Box::from_raw(unused));
+                        // SAFETY: never published; we own it outright.
+                        self.cache.put(unused);
                     }
                     return;
                 },
@@ -630,9 +707,9 @@ impl<T> Injector<T> {
                 // sweeps from 0; a consumer handed the DESTROY baton
                 // continues from its own successor slot.
                 if offset + 1 == BLOCK_CAP {
-                    Block::destroy(block, 0);
+                    Block::destroy(block, 0, &self.cache);
                 } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
-                    Block::destroy(block, offset + 1);
+                    Block::destroy(block, offset + 1, &self.cache);
                 }
                 Steal::Success(task)
             },
@@ -697,6 +774,13 @@ impl<T> Drop for Injector<T> {
                 head = head.wrapping_add(1 << SHIFT);
             }
             drop(Box::from_raw(block));
+            // Free the parked reusable blocks as well.
+            for slot in &mut self.cache.slots {
+                let p = *slot.get_mut();
+                if !p.is_null() {
+                    drop(Box::from_raw(p));
+                }
+            }
         }
     }
 }

@@ -1,0 +1,163 @@
+//! The spawn-side allocation budget, pinned by a counting allocator.
+//!
+//! The PR that introduced the node/version pools claims steady-state
+//! spawning is **allocation-free**: task nodes are recycled through the
+//! free stack, bodies up to 64 bytes live inline in the node, renamed
+//! versions come from the per-object retired pool, and the injector
+//! reuses consumed blocks. This test makes that budget mechanical so
+//! the pools cannot silently regress:
+//!
+//! | workload                         | documented budget per task    |
+//! |----------------------------------|-------------------------------|
+//! | empty-body storm (throttled)     | 0 after warmup                |
+//! | `inout` dependency chain         | ≤ 1 (one successor-stack link)|
+//! | read+rename churn (version pool) | ≤ 2 (links + binding traffic) |
+//!
+//! Everything runs in ONE `#[test]` so no parallel test in this binary
+//! can perturb the counter, and the binary has its own process (Rust
+//! integration tests), so the global allocator swap is contained.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smpss::Runtime;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Allocations across `f`, measured after `warmup` has primed pools,
+/// caches and queue blocks.
+fn measure(warmup: impl FnOnce(), f: impl FnOnce()) -> u64 {
+    warmup();
+    let before = allocs();
+    f();
+    allocs() - before
+}
+
+#[test]
+fn steady_state_spawning_stays_within_the_documented_budget() {
+    // One thread + a graph-size throttle: spawning and execution
+    // interleave on the spawner thread, recirculating nodes through the
+    // pool — the BENCH_0003 `spawn_storm` shape.
+    let storm = |rt: &Runtime, n: u64| {
+        for _ in 0..n {
+            rt.task("storm").submit(|| {});
+        }
+        rt.barrier();
+    };
+
+    // --- empty-body storm: 0 allocations per task after warmup -------
+    const STORM_TASKS: u64 = 8_192;
+    let rt = Runtime::builder().threads(1).graph_size_limit(64).build();
+    let delta = measure(|| storm(&rt, 4_096), || storm(&rt, STORM_TASKS));
+    let st = rt.stats();
+    assert!(
+        st.node_pool_hits > st.tasks_spawned * 9 / 10,
+        "node pool must serve steady-state spawns (hits={} spawned={})",
+        st.node_pool_hits,
+        st.tasks_spawned
+    );
+    drop(rt);
+    assert!(
+        delta <= STORM_TASKS / 100,
+        "steady-state empty-task storm must be allocation-free \
+         (documented budget 0/task), measured {} allocations for {} tasks",
+        delta,
+        STORM_TASKS
+    );
+
+    // --- dependency chain: ≤ 1 allocation per task (successor link) --
+    const CHAIN_TASKS: u64 = 4_096;
+    let rt = Runtime::builder().threads(1).graph_size_limit(64).build();
+    let x = rt.data(0u64);
+    let chain = |n: u64| {
+        for _ in 0..n {
+            let mut sp = rt.task("chain");
+            let mut w = sp.inout(&x);
+            sp.submit(move || *w.get_mut() += 1);
+        }
+        rt.barrier();
+    };
+    let delta = measure(|| chain(1_024), || chain(CHAIN_TASKS));
+    assert_eq!(rt.read(&x), 1_024 + CHAIN_TASKS);
+    drop(rt);
+    assert!(
+        delta <= CHAIN_TASKS + CHAIN_TASKS / 8,
+        "chain budget is one successor-stack link per task, measured {} \
+         allocations for {} tasks",
+        delta,
+        CHAIN_TASKS
+    );
+
+    // --- rename churn: the version pool absorbs buffer allocation ----
+    // Reader-then-writer pairs force a rename on nearly every writer
+    // (the BENCH_0003 `rename_storm` shape). With the pool, renames
+    // reuse retired buffers and counters; the budget is two allocations
+    // per task pair (successor links et al.), not a Vec + Arc + counter
+    // per rename.
+    const PAIRS: u64 = 2_048;
+    let rt = Runtime::builder().threads(1).graph_size_limit(64).build();
+    let objs: Vec<_> = (0..16)
+        .map(|_| rt.data_sized(vec![0f32; 64], 256, || vec![0f32; 64]))
+        .collect();
+    let churn = |pairs: u64| {
+        for i in 0..pairs {
+            let h = &objs[(i % 16) as usize];
+            let mut sp = rt.task("r");
+            let mut r = sp.read(h);
+            sp.submit(move || {
+                std::hint::black_box(r.get()[0]);
+            });
+            let mut sp = rt.task("w");
+            let mut w = sp.write(h);
+            sp.submit(move || w.get_mut()[0] = 1.0);
+        }
+        rt.barrier();
+    };
+    let delta = measure(|| churn(1_024), || churn(PAIRS));
+    let st = rt.stats();
+    assert!(
+        st.renames > PAIRS / 2,
+        "the churn must actually rename (renames={})",
+        st.renames
+    );
+    assert!(
+        st.version_pool_hits > st.renames * 3 / 4,
+        "the version pool must serve steady-state renames \
+         (hits={} renames={})",
+        st.version_pool_hits,
+        st.renames
+    );
+    drop(rt);
+    let tasks = PAIRS * 2;
+    assert!(
+        delta <= tasks * 2,
+        "rename churn budget is ≤2 allocations per task, measured {} for {}",
+        delta,
+        tasks
+    );
+}
