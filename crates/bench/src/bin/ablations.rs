@@ -352,6 +352,86 @@ fn ablation_spawn() {
     println!("indexed/linear recorded-edge equality: ok");
 }
 
+fn ablation_release() {
+    println!("\n== Ablation 5: completion-side fast path (lock-free release) ==\n");
+
+    // --- release-bound fan-out: batched vs per-successor publication -
+    // The exact BENCH_0004 workload shapes, via perf's `_cfg` variants,
+    // so the ablation always measures what the trajectory benchmarks.
+    let fanout_rate = |lockfree: bool| {
+        let r = smpss_bench::perf::fanout_storm_cfg(4, 30_000, 1, lockfree);
+        (r.tasks_per_sec, r.counters)
+    };
+    let (fr_on, fst_on) = fanout_rate(true);
+    let (fr_off, fst_off) = fanout_rate(false);
+    println!(
+        "fan-out  lock-free release: {:>9.0} tasks/s, {} hand-offs / {} tasks",
+        fr_on, fst_on.handoffs, fst_on.tasks_executed
+    );
+    println!(
+        "fan-out  legacy release   : {:>9.0} tasks/s, {} hand-offs",
+        fr_off, fst_off.handoffs
+    );
+    assert!(
+        fst_on.handoffs > 0,
+        "the fast path must hand completions off directly"
+    );
+    assert_eq!(fst_off.handoffs, 0, "the legacy path must never hand off");
+    assert_eq!(fst_on.total_pops(), fst_on.tasks_executed);
+    assert_eq!(fst_off.total_pops(), fst_off.tasks_executed);
+
+    // --- chain storm: the direct hand-off vs one enqueue+wake per link
+    let chain_rate = |lockfree: bool| {
+        let r = smpss_bench::perf::chain_storm_cfg(4, 30_000, 1, lockfree);
+        (r.tasks_per_sec, r.counters)
+    };
+    let (cr_on, cst_on) = chain_rate(true);
+    let (cr_off, cst_off) = chain_rate(false);
+    println!(
+        "chains   lock-free release: {:>9.0} tasks/s, {} hand-offs / {} tasks",
+        cr_on, cst_on.handoffs, cst_on.tasks_executed
+    );
+    println!(
+        "chains   legacy release   : {:>9.0} tasks/s, {} hand-offs",
+        cr_off, cst_off.handoffs
+    );
+    assert!(
+        cst_on.handoffs as f64 > 0.5 * cst_on.tasks_executed as f64,
+        "chains must ride the hand-off (handoffs={} of {})",
+        cst_on.handoffs,
+        cst_on.tasks_executed
+    );
+    assert_eq!(cst_off.handoffs, 0);
+
+    // Structural equality: the two release paths must record identical
+    // graphs and produce identical values on one deterministic program
+    // (timing above may wobble on shared hosts; this must not).
+    let record = |lockfree: bool| {
+        let rt = Runtime::builder()
+            .threads(1)
+            .lockfree_release(lockfree)
+            .record_graph(true)
+            .build();
+        let hs: Vec<_> = (0..4).map(|i| rt.data(i as i64)).collect();
+        for i in 0..64usize {
+            let (a, d) = (i % 4, (i * 7 + 1) % 4);
+            let mut sp = rt.task("acc");
+            let mut r = sp.read(&hs[a]);
+            let mut w = sp.inout(&hs[d]);
+            sp.submit(move || *w.get_mut() = w.get_mut().wrapping_add(*r.get()));
+        }
+        rt.barrier();
+        let vals: Vec<i64> = hs.iter().map(|h| rt.read(h)).collect();
+        (vals, rt.graph().unwrap().edges().to_vec())
+    };
+    assert_eq!(
+        record(true),
+        record(false),
+        "lock-free and legacy release must record identical graphs"
+    );
+    println!("lock-free/legacy recorded-graph equality: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "spawn_ablation") {
@@ -359,10 +439,16 @@ fn main() {
         println!("\nspawn ablation checks passed.");
         return;
     }
+    if args.iter().any(|a| a == "release_ablation") {
+        ablation_release();
+        println!("\nrelease ablation checks passed.");
+        return;
+    }
     let cal = Calibration::default();
     ablation_renaming(&cal);
     ablation_queues(&cal);
     ablation_graph_limit(&cal);
     ablation_spawn();
+    ablation_release();
     println!("\nall ablation checks passed.");
 }

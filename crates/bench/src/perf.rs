@@ -38,7 +38,7 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0003";
+pub const BENCH_ID: &str = "BENCH_0004";
 
 /// Schema tag checked by `perfsuite --check`.
 pub const SCHEMA: &str = "smpss-bench/1";
@@ -367,6 +367,7 @@ fn best_of(reps: usize, mut f: impl FnMut() -> (f64, u64, StatsSnapshot)) -> (f6
 /// Empty-body, zero-parameter task storm: every task is born ready and
 /// goes through the main list (or the central queue), so the measured
 /// rate is the spawn + enqueue + dequeue + complete overhead alone.
+#[inline(never)]
 pub fn task_storm(
     threads: usize,
     policy: SchedulerPolicy,
@@ -397,6 +398,7 @@ pub fn task_storm(
 /// A single dependency chain of `inout` bumps: each completion releases
 /// exactly one successor onto the finishing thread's own list, pinning
 /// the §III LIFO own-list path (own_pops must dominate).
+#[inline(never)]
 pub fn task_chain(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
         let rt = Runtime::builder().threads(threads).build();
@@ -424,6 +426,7 @@ pub fn task_chain(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
 }
 
 /// Blocked hyper-matrix Cholesky at structural scale, `n` blocks.
+#[inline(never)]
 pub fn app_cholesky(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let spd = FlatMatrix::random_spd(n * STRUCT_M, 11);
     let (secs, executed, counters) = best_of(reps, || {
@@ -448,6 +451,7 @@ pub fn app_cholesky(threads: usize, n: usize, reps: usize) -> WorkloadResult {
 
 /// Strassen at structural scale (`n` blocks per side, cutoff 1): the
 /// paper's intensive-renaming workload.
+#[inline(never)]
 pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let af = FlatMatrix::random(n * STRUCT_M, 15);
     let bf = FlatMatrix::random(n * STRUCT_M, 16);
@@ -480,6 +484,7 @@ pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
 /// recirculates completed task nodes through the spawn-side pool, so
 /// the number is the steady-state (recycled) spawn cost, not the
 /// cold-allocation cost.
+#[inline(never)]
 pub fn spawn_storm(tasks: u64, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
         let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
@@ -507,6 +512,7 @@ pub fn spawn_storm(tasks: u64, reps: usize) -> WorkloadResult {
 /// pending when the writer is analysed, so nearly every writer renames
 /// (fresh version buffer + fresh pending-reader counter) — the paper's
 /// intensive-renaming case, isolated from the arithmetic.
+#[inline(never)]
 pub fn rename_storm(tasks: u64, reps: usize) -> WorkloadResult {
     const OBJECTS: usize = 64;
     const ELEMS: usize = 64;
@@ -551,6 +557,7 @@ pub fn rename_storm(tasks: u64, reps: usize) -> WorkloadResult {
 /// every live log entry for overlap; a graph-size throttle keeps a few
 /// hundred entries live, so the linear log scans ~256 entries per
 /// access while the indexed log touches only the tile it conflicts on.
+#[inline(never)]
 pub fn region_storm(tasks: u64, reps: usize) -> WorkloadResult {
     const BLOCKS: usize = 64;
     const WIDTH: usize = 64;
@@ -583,6 +590,7 @@ pub fn region_storm(tasks: u64, reps: usize) -> WorkloadResult {
 }
 
 /// Multisort over `n` elements (§VI.D); element count is structural.
+#[inline(never)]
 pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let input = random_input(n, 17);
     let params = SortParams {
@@ -609,6 +617,7 @@ pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
 }
 
 /// N Queens with `levels` task levels (§VI.E).
+#[inline(never)]
 pub fn app_nqueens(threads: usize, n: usize, levels: usize, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
         let rt = Runtime::builder().threads(threads).build();
@@ -629,6 +638,109 @@ pub fn app_nqueens(threads: usize, n: usize, levels: usize, reps: usize) -> Work
     }
 }
 
+/// Release-bound fan-out rounds (BENCH_0004): each round spawns one
+/// writer and `FAN` readers of the same object. The writer's completion
+/// releases the whole reader wave at once — the batched-publication
+/// path (one queue transition + one wake instead of one wake-check per
+/// successor) — and every reader completion closes its read window
+/// through the lock-free pending-reader protocol. With renaming on, the
+/// next round's writer renames off the still-pending readers, so the
+/// completion side, not the spawner, is the bottleneck.
+#[inline(never)]
+pub fn fanout_storm(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    fanout_storm_cfg(threads, tasks, reps, true)
+}
+
+/// [`fanout_storm`] with the completion fast path switchable — the
+/// `release_ablation` study runs the *same* shape both ways instead of
+/// duplicating it.
+pub fn fanout_storm_cfg(threads: usize, tasks: u64, reps: usize, lockfree: bool) -> WorkloadResult {
+    const FAN: u64 = 12;
+    let rounds = tasks / (FAN + 1);
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder()
+            .threads(threads)
+            .graph_size_limit(512)
+            .lockfree_release(lockfree)
+            .build();
+        let h = rt.data(0u64);
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            {
+                let mut sp = rt.task("fs_write");
+                let mut w = sp.write(&h);
+                sp.submit(move || *w.get_mut() = 1);
+            }
+            for _ in 0..FAN {
+                let mut sp = rt.task("fs_read");
+                let mut r = sp.read(&h);
+                sp.submit(move || {
+                    std::hint::black_box(*r.get());
+                });
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("fanout_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Independent dependency chains progressing in parallel (BENCH_0004):
+/// every completion releases exactly one successor, so with the direct
+/// hand-off the released task runs next on the completing worker without
+/// a queue round-trip or a wake — the pure release-latency measure,
+/// `CHAINS`-wide so all workers ride a chain at once.
+#[inline(never)]
+pub fn chain_storm(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    chain_storm_cfg(threads, tasks, reps, true)
+}
+
+/// [`chain_storm`] with the completion fast path switchable (see
+/// [`fanout_storm_cfg`]).
+pub fn chain_storm_cfg(threads: usize, tasks: u64, reps: usize, lockfree: bool) -> WorkloadResult {
+    const CHAINS: usize = 16;
+    let per_chain = tasks / CHAINS as u64;
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder()
+            .threads(threads)
+            .lockfree_release(lockfree)
+            .build();
+        let hs: Vec<_> = (0..CHAINS).map(|_| rt.data(0u64)).collect();
+        let t0 = Instant::now();
+        for _ in 0..per_chain {
+            for h in &hs {
+                let mut sp = rt.task("cs_bump");
+                let mut w = sp.inout(h);
+                sp.submit(move || *w.get_mut() += 1);
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        for h in &hs {
+            assert_eq!(rt.read(h), per_chain);
+        }
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("chain_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Suite assembly and emission
 // ---------------------------------------------------------------------
@@ -636,45 +748,170 @@ pub fn app_nqueens(threads: usize, n: usize, levels: usize, reps: usize) -> Work
 /// Thread counts the storm sweeps (full mode).
 pub const STORM_THREADS: &[usize] = &[1, 2, 4, 8];
 
-/// Run the whole suite. `quick` shrinks sizes so CI can validate the
-/// harness in seconds; the committed trajectory point is a full run.
-pub fn run_suite(quick: bool) -> Vec<WorkloadResult> {
-    // Best-of-N on a shared 1-CPU CI host needs several repetitions for
-    // the minimum to converge; quick mode trades that for speed.
-    let (storm_tasks, chain_tasks, reps) = if quick { (3_000, 1_500, 1) } else { (30_000, 10_000, 7) };
+/// The suite plan: stable workload keys, in run order. The keys double
+/// as the `--workload` selector for process-isolated runs.
+pub fn suite_plan(quick: bool) -> Vec<String> {
     let storm_threads: &[usize] = if quick { &[1, 8] } else { STORM_THREADS };
-    let mut results = Vec::new();
+    let mut plan = Vec::new();
     for &t in storm_threads {
         for policy in [SchedulerPolicy::Smpss, SchedulerPolicy::CentralQueue] {
-            eprintln!("  task_storm t={} {}", t, policy_key(policy));
-            results.push(task_storm(t, policy, storm_tasks, reps));
+            plan.push(format!("task_storm/t{}/{}", t, policy_key(policy)));
         }
     }
     for &t in if quick { &[8usize] as &[usize] } else { &[1usize, 8] as &[usize] } {
-        eprintln!("  task_chain t={}", t);
-        results.push(task_chain(t, chain_tasks, reps));
+        plan.push(format!("task_chain/t{}", t));
     }
-    // Spawn-side storms (BENCH_0003): spawner-thread rate, renaming
-    // churn, region-log pressure.
-    eprintln!("  spawn_storm");
-    results.push(spawn_storm(storm_tasks, reps));
-    eprintln!("  rename_storm");
-    results.push(rename_storm(storm_tasks, reps));
-    eprintln!("  region_storm");
-    results.push(region_storm(if quick { 2_048 } else { 16_384 }, reps.min(3)));
+    plan.push("spawn_storm/t1".into());
+    plan.push("rename_storm/t1".into());
+    plan.push("region_storm/t1".into());
+    plan.push("fanout_storm/t8".into());
+    plan.push("chain_storm/t8".into());
     if quick {
-        eprintln!("  apps (quick)");
-        results.push(app_cholesky(8, 6, 1));
-        results.push(app_multisort(8, 20_000, 1));
-        results.push(app_nqueens(8, 7, 2, 1));
+        plan.push("cholesky_hyper/n6/t8".into());
+        plan.push("multisort/n20000/t8".into());
+        plan.push("nqueens/n7l2/t8".into());
     } else {
-        eprintln!("  apps (structural scale)");
-        results.push(app_cholesky(8, 14, 2));
-        results.push(app_strassen(8, 4, 2));
-        results.push(app_multisort(8, 120_000, 2));
-        results.push(app_nqueens(8, 9, 3, 2));
+        plan.push("cholesky_hyper/n14/t8".into());
+        plan.push("strassen/n4/t8".into());
+        plan.push("multisort/n120000/t8".into());
+        plan.push("nqueens/n9l3/t8".into());
     }
-    results
+    plan
+}
+
+/// Run one workload of the plan by its stable key, after the process
+/// warm-up. Returns `None` for an unknown key.
+///
+/// Workloads are meant to run **one per process** (`perfsuite` spawns
+/// itself once per plan entry): the fine-grain storms are sensitive to
+/// the process's early heap layout — a few stray allocations before the
+/// measurement shift where the runtime's pools land and move the
+/// numbers by tens of percent on the CI-class host — so each workload
+/// gets a fresh, identically-shaped process. The warm-up then pays the
+/// allocator-arena and core-ramp cost before the clock starts.
+pub fn run_one(name: &str, quick: bool) -> Option<WorkloadResult> {
+    let (storm_tasks, chain_tasks, reps) = if quick { (3_000, 1_500, 1) } else { (30_000, 10_000, 7) };
+    // Discarded warm-up (see above).
+    let _ = task_storm(1, SchedulerPolicy::Smpss, storm_tasks, 3);
+    let mut parts = name.split('/');
+    let kind = parts.next()?;
+    let result = match kind {
+        "task_storm" => {
+            let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
+            let policy = match parts.next()? {
+                "smpss" => SchedulerPolicy::Smpss,
+                "central" => SchedulerPolicy::CentralQueue,
+                _ => return None,
+            };
+            task_storm(t, policy, storm_tasks, reps)
+        }
+        "task_chain" => {
+            let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
+            task_chain(t, chain_tasks, reps)
+        }
+        "spawn_storm" => spawn_storm(storm_tasks, reps),
+        "rename_storm" => rename_storm(storm_tasks, reps),
+        "region_storm" => region_storm(if quick { 2_048 } else { 16_384 }, reps.min(3)),
+        "fanout_storm" => fanout_storm(8, storm_tasks, reps),
+        "chain_storm" => chain_storm(8, storm_tasks, reps),
+        "cholesky_hyper" => {
+            let n: usize = parts.next()?.strip_prefix('n')?.parse().ok()?;
+            app_cholesky(8, n, if quick { 1 } else { 2 })
+        }
+        "strassen" => {
+            let n: usize = parts.next()?.strip_prefix('n')?.parse().ok()?;
+            app_strassen(8, n, 2)
+        }
+        "multisort" => {
+            let n: usize = parts.next()?.strip_prefix('n')?.parse().ok()?;
+            app_multisort(8, n, if quick { 1 } else { 2 })
+        }
+        "nqueens" => {
+            if quick {
+                app_nqueens(8, 7, 2, 1)
+            } else {
+                app_nqueens(8, 9, 3, 2)
+            }
+        }
+        _ => return None,
+    };
+    Some(result)
+}
+
+/// Run the whole suite **in this process** (unit tests, and the
+/// fallback when self-spawning is unavailable). The committed
+/// trajectory point uses the process-isolated path in `perfsuite`
+/// instead; see [`run_one`].
+pub fn run_suite(quick: bool) -> Vec<WorkloadResult> {
+    suite_plan(quick)
+        .iter()
+        .map(|name| {
+            eprintln!("  {}", name);
+            run_one(name, quick).expect("plan key must resolve")
+        })
+        .collect()
+}
+
+/// One workload entry of the trajectory document; also the line format
+/// a `--workload` child prints for its parent.
+pub fn workload_json(r: &WorkloadResult) -> JsonValue {
+    let mut fields = vec![
+        ("name".into(), JsonValue::Str(r.name.clone())),
+        ("threads".into(), JsonValue::Num(r.threads as f64)),
+        ("tasks".into(), JsonValue::Num(r.tasks as f64)),
+        ("secs".into(), JsonValue::Num(r.secs)),
+        ("tasks_per_sec".into(), JsonValue::Num(r.tasks_per_sec)),
+        ("counters".into(), counters_json(&r.counters)),
+    ];
+    if let Some(base) = baseline_rate(&r.name) {
+        fields.push((
+            "speedup_vs_baseline".into(),
+            JsonValue::Num(r.tasks_per_sec / base),
+        ));
+    }
+    JsonValue::Obj(fields)
+}
+
+/// Parse a [`workload_json`] document back (the parent side of the
+/// process-isolated runner). Counters not serialised in the document
+/// stay zero.
+pub fn parse_workload(doc: &JsonValue) -> Result<WorkloadResult, String> {
+    let name = doc
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("workload missing name")?
+        .to_string();
+    let num = |key: &str| {
+        doc.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("workload {:?} missing {:?}", name, key))
+    };
+    let counters = doc.get("counters").ok_or("missing counters")?;
+    let cnum = |key: &str| {
+        counters
+            .get(key)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    Ok(WorkloadResult {
+        threads: num("threads")? as usize,
+        tasks: num("tasks")? as u64,
+        secs: num("secs")?,
+        tasks_per_sec: num("tasks_per_sec")?,
+        counters: StatsSnapshot {
+            tasks_spawned: cnum("tasks_spawned"),
+            tasks_executed: cnum("tasks_executed"),
+            true_edges: cnum("true_edges"),
+            renames: cnum("renames"),
+            own_pops: cnum("own_pops"),
+            main_pops: cnum("main_pops"),
+            hp_pops: cnum("hp_pops"),
+            steals: cnum("steals"),
+            handoffs: cnum("handoffs"),
+            ..Default::default()
+        },
+        name,
+    })
 }
 
 fn counters_json(c: &StatsSnapshot) -> JsonValue {
@@ -687,6 +924,7 @@ fn counters_json(c: &StatsSnapshot) -> JsonValue {
         ("main_pops".into(), JsonValue::Num(c.source_pops(TaskSource::MainList) as f64)),
         ("hp_pops".into(), JsonValue::Num(c.source_pops(TaskSource::HighPriority) as f64)),
         ("steals".into(), JsonValue::Num(c.source_pops(TaskSource::Stolen { victim: 0 }) as f64)),
+        ("handoffs".into(), JsonValue::Num(c.handoffs as f64)),
     ])
 }
 
@@ -715,28 +953,7 @@ pub fn suite_json(results: &[WorkloadResult], quick: bool) -> JsonValue {
             ),
         ),
     ]);
-    let workloads = JsonValue::Arr(
-        results
-            .iter()
-            .map(|r| {
-                let mut fields = vec![
-                    ("name".into(), JsonValue::Str(r.name.clone())),
-                    ("threads".into(), JsonValue::Num(r.threads as f64)),
-                    ("tasks".into(), JsonValue::Num(r.tasks as f64)),
-                    ("secs".into(), JsonValue::Num(r.secs)),
-                    ("tasks_per_sec".into(), JsonValue::Num(r.tasks_per_sec)),
-                    ("counters".into(), counters_json(&r.counters)),
-                ];
-                if let Some(base) = baseline_rate(&r.name) {
-                    fields.push((
-                        "speedup_vs_baseline".into(),
-                        JsonValue::Num(r.tasks_per_sec / base),
-                    ));
-                }
-                JsonValue::Obj(fields)
-            })
-            .collect(),
-    );
+    let workloads = JsonValue::Arr(results.iter().map(workload_json).collect());
     let baseline = JsonValue::Obj(vec![
         ("id".into(), JsonValue::Str(perf_baseline::BASELINE_ID.into())),
         ("host".into(), JsonValue::Str(perf_baseline::BASELINE_HOST.into())),

@@ -35,6 +35,7 @@ pub struct RuntimeConfig {
     pub(crate) node_pool: bool,
     pub(crate) version_pool: bool,
     pub(crate) indexed_regions: bool,
+    pub(crate) lockfree_release: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -47,11 +48,12 @@ impl Default for RuntimeConfig {
             record_graph: false,
             tracing: false,
             policy: SchedulerPolicy::Smpss,
-            spin_tries: 64,
+            spin_tries: 16,
             park_micros: 100,
             node_pool: true,
             version_pool: true,
             indexed_regions: true,
+            lockfree_release: true,
         }
     }
 }
@@ -158,6 +160,19 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable or disable the completion-side fast path (default: on).
+    /// With it, a finishing worker publishes its ready successors as one
+    /// batch (first successor handed straight to the completing worker,
+    /// the rest pushed with a single wake decision) and bumps a
+    /// per-thread finished shard instead of a global RMW. The off
+    /// position restores the BENCH_0003 release path — one enqueue +
+    /// wake-check per successor and a contended `finished` counter — for
+    /// the `release_ablation` study.
+    pub fn lockfree_release(mut self, on: bool) -> Self {
+        self.cfg.lockfree_release = on;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
@@ -185,6 +200,7 @@ mod tests {
         assert!(c.node_pool);
         assert!(c.version_pool);
         assert!(c.indexed_regions);
+        assert!(c.lockfree_release);
     }
 
     #[test]
@@ -193,10 +209,12 @@ mod tests {
             .node_pool(false)
             .version_pool(false)
             .indexed_regions(false)
+            .lockfree_release(false)
             .config();
         assert!(!c.node_pool);
         assert!(!c.version_pool);
         assert!(!c.indexed_regions);
+        assert!(!c.lockfree_release);
     }
 
     #[test]

@@ -25,6 +25,9 @@ pub(crate) mod region_log;
 pub mod representant;
 pub mod version;
 
+#[cfg(test)]
+mod read_window_oracle;
+
 /// Types that can live in runtime-managed data objects.
 ///
 /// `Clone` is required because renaming must be able to materialise a fresh

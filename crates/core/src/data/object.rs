@@ -6,34 +6,118 @@
 //! the dependency analyser in [`crate::dep`] consults and rewrites this
 //! state at every task invocation.
 
-use std::sync::atomic::AtomicUsize;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use super::version::VBuf;
 use super::TaskData;
 use crate::graph::node::TaskNode;
 use crate::ids::ObjectId;
 
+/// Single-owner state cell: the BENCH_0004 "shrunken object lock".
+///
+/// Since the completion side went lock-free (read windows close through
+/// the counter embedded in the version buffer), **only the spawning
+/// thread** ever touches an object's version state: the dependency
+/// analyser and the main-thread access helpers (`wait_on`, `read`,
+/// `update`) all run on the one thread `Runtime: !Sync` pins spawning
+/// to. The former `Mutex<ObjState>` therefore only ever saw uncontended
+/// acquire/release pairs — two locked RMWs per task parameter bought
+/// nothing. This cell keeps the mutex's *interface* (`lock()` returns a
+/// guard) and its bug-tripwire (re-entry or a cross-thread race panics
+/// via the flag below) while costing two unfenced atomic ops.
+///
+/// # Safety invariant
+/// All access goes through the spawning thread. This is a structural
+/// property of the crate — `Runtime` is `!Sync` (compile-fail doctest),
+/// task bodies receive bindings, never handles, and no worker-side code
+/// path names `DataObject::state` — and the swap-based flag converts a
+/// future violation into a deterministic panic rather than a silent
+/// race in any build profile, exactly like `VBuf`'s validation windows.
+pub(crate) struct SpawnerCell<S> {
+    cell: UnsafeCell<S>,
+    /// Occupancy tripwire (not a lock: no spinning, no parking).
+    busy: AtomicBool,
+}
+
+// SAFETY: see the safety invariant above — the runtime structurally
+// serialises all access onto the spawning thread; the flag makes a
+// violation panic instead of race.
+unsafe impl<S: Send> Sync for SpawnerCell<S> {}
+
+impl<S> SpawnerCell<S> {
+    pub(crate) fn new(state: S) -> Self {
+        SpawnerCell {
+            cell: UnsafeCell::new(state),
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    /// Enter the cell. Named `lock` to keep the mutex interface: call
+    /// sites read identically, only the cost changed. The flag ops are
+    /// Relaxed plain load + store — the cell provides no inter-thread
+    /// synchronisation because, by invariant, there are no other
+    /// threads to synchronise with; the tripwire deterministically
+    /// catches re-entry (and catches, without guaranteeing to, a
+    /// cross-thread violation).
+    pub(crate) fn lock(&self) -> SpawnerGuard<'_, S> {
+        assert!(
+            !self.busy.load(Ordering::Relaxed),
+            "SMPSs invariant violated: concurrent object-state access \
+             (spawning is single-threaded)"
+        );
+        self.busy.store(true, Ordering::Relaxed);
+        SpawnerGuard { owner: self }
+    }
+}
+
+/// Guard for [`SpawnerCell`]; releases the occupancy flag on drop.
+pub(crate) struct SpawnerGuard<'a, S> {
+    owner: &'a SpawnerCell<S>,
+}
+
+impl<S> std::ops::Deref for SpawnerGuard<'_, S> {
+    type Target = S;
+
+    fn deref(&self) -> &S {
+        // SAFETY: the busy flag grants exclusive access until drop.
+        unsafe { &*self.owner.cell.get() }
+    }
+}
+
+impl<S> std::ops::DerefMut for SpawnerGuard<'_, S> {
+    fn deref_mut(&mut self) -> &mut S {
+        // SAFETY: as in `deref`.
+        unsafe { &mut *self.owner.cell.get() }
+    }
+}
+
+impl<S> Drop for SpawnerGuard<'_, S> {
+    fn drop(&mut self) {
+        self.owner.busy.store(false, Ordering::Relaxed);
+    }
+}
+
 /// The current version of an object.
 pub(crate) struct CurrentVersion<T> {
+    /// The version buffer; its embedded [`ReadWindow`] counts
+    /// spawned-but-unfinished readers and drives the renaming decision
+    /// for `inout` (a live reader forces a fresh version + copy-in).
+    /// Windows are closed lock-free by completing workers — see
+    /// [`ReadWindow`]'s protocol docs.
     pub(crate) buf: Arc<VBuf<T>>,
     /// Last task that writes this version (None: settled initial data).
     /// Retained after completion so graph recording sees structural edges.
     pub(crate) producer: Option<Arc<TaskNode>>,
-    /// Spawned-but-unfinished readers of this version. Drives the renaming
-    /// decision for `inout`: a live reader forces a fresh version + copy-in.
-    pub(crate) pending_readers: Arc<AtomicUsize>,
 }
 
-/// A version displaced by renaming, parked for reuse. The buffer and
-/// counter stay alive (their `Arc`s pin them) until every reader binding
-/// drops; once both refcounts return to 1 the renamer may resurrect the
-/// pair instead of allocating.
+/// A version displaced by renaming, parked for reuse. The buffer (and
+/// the read-window counter embedded in it) stays alive until every
+/// reader binding drops; once the refcount returns to 1 the renamer may
+/// resurrect it instead of allocating.
 pub(crate) struct RetiredVersion<T> {
     pub(crate) buf: Arc<VBuf<T>>,
-    pub(crate) pending: Arc<AtomicUsize>,
 }
 
 /// Retired versions kept beyond the reusable spares; pushing past this
@@ -63,7 +147,7 @@ pub(crate) struct DataObject<T: TaskData> {
     pub(crate) version_bytes: usize,
     /// Runtime-wide live-version byte counter.
     pub(crate) acct: Arc<AtomicUsize>,
-    pub(crate) state: Mutex<ObjState<T>>,
+    pub(crate) state: SpawnerCell<ObjState<T>>,
 }
 
 impl<T: TaskData> DataObject<T> {
@@ -80,11 +164,10 @@ impl<T: TaskData> DataObject<T> {
             alloc,
             version_bytes,
             acct,
-            state: Mutex::new(ObjState {
+            state: SpawnerCell::new(ObjState {
                 current: CurrentVersion {
                     buf: Arc::new(VBuf::with_ticket(value, ticket)),
                     producer: None,
-                    pending_readers: Arc::new(AtomicUsize::new(0)),
                 },
                 readers_list: Vec::new(),
                 retired: Vec::new(),
@@ -100,36 +183,33 @@ impl<T: TaskData> DataObject<T> {
     }
 
     /// A version for the renamer: a recycled retired one when the pool
-    /// holds a dead pair, else a fresh allocation. Returns
-    /// `(buffer, pending-reader counter, pool hit?)`.
+    /// holds a dead buffer, else a fresh allocation. Returns
+    /// `(buffer, pool hit?)`.
     ///
-    /// A retired entry is dead exactly when both strong counts are 1 —
-    /// only the pool itself still holds them, so no binding can read or
-    /// write the buffer concurrently. `strong_count` is a relaxed load;
-    /// the Acquire fence after a successful probe pairs with the Release
-    /// decrement of the last dropped `Arc`, ordering that reader's final
-    /// buffer accesses before our reuse.
+    /// A retired entry is dead exactly when its strong count is 1 —
+    /// only the pool itself still holds it, so no binding can read or
+    /// write the buffer concurrently (the read-window counter lives
+    /// inside the buffer, so one count covers both). `strong_count` is
+    /// a relaxed load; the Acquire fence after a successful probe pairs
+    /// with the Release decrement of the last dropped `Arc`, ordering
+    /// that reader's final buffer accesses before our reuse.
     pub(crate) fn acquire_version(
         &self,
         st: &mut ObjState<T>,
         pool: bool,
-    ) -> (Arc<VBuf<T>>, Arc<AtomicUsize>, bool) {
+    ) -> (Arc<VBuf<T>>, bool) {
         if pool {
             for i in (0..st.retired.len()).rev() {
                 let r = &st.retired[i];
-                if Arc::strong_count(&r.buf) == 1 && Arc::strong_count(&r.pending) == 1 {
+                if Arc::strong_count(&r.buf) == 1 {
                     std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
                     let r = st.retired.swap_remove(i);
-                    r.pending.store(0, std::sync::atomic::Ordering::Relaxed);
-                    return (r.buf, r.pending, true);
+                    r.buf.window().reset_for_reuse();
+                    return (r.buf, true);
                 }
             }
         }
-        (
-            self.fresh_version_buf(),
-            Arc::new(AtomicUsize::new(0)),
-            false,
-        )
+        (self.fresh_version_buf(), false)
     }
 
     /// The renamer's version switch, shared by every renaming branch of
@@ -143,17 +223,16 @@ impl<T: TaskData> DataObject<T> {
         producer: Arc<TaskNode>,
         pool: bool,
     ) -> (Arc<VBuf<T>>, Arc<VBuf<T>>, bool) {
-        let (buf, pending, hit) = self.acquire_version(st, pool);
+        let (buf, hit) = self.acquire_version(st, pool);
         let old = std::mem::replace(
             &mut st.current,
             CurrentVersion {
                 buf: Arc::clone(&buf),
                 producer: Some(producer),
-                pending_readers: pending,
             },
         );
         let old_buf = Arc::clone(&old.buf);
-        retire_version(st, old.buf, old.pending_readers, pool);
+        retire_version(st, old.buf, pool);
         (buf, old_buf, hit)
     }
 }
@@ -170,18 +249,17 @@ impl<T: TaskData> DataObject<T> {
 pub(crate) fn retire_version<T: TaskData>(
     st: &mut ObjState<T>,
     buf: Arc<VBuf<T>>,
-    pending: Arc<AtomicUsize>,
     pool: bool,
 ) {
     if !pool {
         return; // dropping here releases the version as before the pool
     }
-    st.retired.push(RetiredVersion { buf, pending });
+    st.retired.push(RetiredVersion { buf });
     while st.retired.len() > RETIRED_SPARES {
         let dead = st
             .retired
             .iter()
-            .position(|r| Arc::strong_count(&r.buf) == 1 && Arc::strong_count(&r.pending) == 1);
+            .position(|r| Arc::strong_count(&r.buf) == 1);
         match dead {
             Some(i) => {
                 st.retired.swap_remove(i);
@@ -250,12 +328,7 @@ mod tests {
         let o = obj(5);
         let st = o.state.lock();
         assert!(st.current.producer.is_none());
-        assert_eq!(
-            st.current
-                .pending_readers
-                .load(std::sync::atomic::Ordering::SeqCst),
-            0
-        );
+        assert_eq!(st.current.buf.window().pending_acquire(), 0);
         unsafe { assert_eq!(*st.current.buf.peek(), 5) };
     }
 

@@ -53,6 +53,13 @@ impl Drop for MemTicket {
 /// renaming — the bindings of tasks still reading an older value.
 pub(crate) struct VBuf<T> {
     cell: UnsafeCell<T>,
+    /// The version's read-window counter (spawned-but-unfinished
+    /// readers). Embedded in the buffer so a read binding is **one**
+    /// `Arc` — one clone at spawn, one drop plus one window close at
+    /// completion — instead of the separate buffer + counter pair the
+    /// pre-BENCH_0004 layout carried (two extra RMWs per `input`
+    /// parameter on the completion path).
+    window: ReadWindow,
     /// Dynamic validation: tasks currently reading this buffer.
     active_readers: AtomicUsize,
     /// Dynamic validation: tasks currently writing this buffer (0 or 1).
@@ -74,6 +81,7 @@ impl<T> VBuf<T> {
     pub(crate) fn new(value: T) -> Self {
         VBuf {
             cell: UnsafeCell::new(value),
+            window: ReadWindow::new(),
             active_readers: AtomicUsize::new(0),
             active_writers: AtomicUsize::new(0),
             ticket: None,
@@ -83,10 +91,16 @@ impl<T> VBuf<T> {
     pub(crate) fn with_ticket(value: T, ticket: MemTicket) -> Self {
         VBuf {
             cell: UnsafeCell::new(value),
+            window: ReadWindow::new(),
             active_readers: AtomicUsize::new(0),
             active_writers: AtomicUsize::new(0),
             ticket: Some(ticket),
         }
+    }
+
+    /// This version's read-window counter.
+    pub(crate) fn window(&self) -> &ReadWindow {
+        &self.window
     }
 
     /// Raw pointer to the payload; used by region bindings.
@@ -144,25 +158,107 @@ impl<T> VBuf<T> {
     }
 }
 
+/// The lock-free **read-window protocol** of one data version: how many
+/// spawned-but-unfinished readers still hold the version open.
+///
+/// This is the completion-side half of renaming. The spawner opens one
+/// window per `input` binding; the worker that runs the task closes it
+/// when the binding drops — **without touching the object mutex**. The
+/// object lock is thereby single-owner (only the spawning thread takes
+/// it, for version bookkeeping and the region log), and a worker
+/// finishing a task performs one `fetch_sub` per read parameter and
+/// nothing else.
+///
+/// The count is **split by writer role** so each side pays the minimum:
+///
+/// * `opens` has a single writer — the spawning thread — so opening a
+///   window is a Relaxed load + store, no RMW at all. The increment
+///   reaches the executing worker through the readiness hand-off (deps
+///   release / queue publication), which carries a Release/Acquire edge.
+/// * `closes` is multi-writer (any completing worker), so closing is
+///   one Release `fetch_add`; it reports **last-reader-out** (window
+///   count hit zero at that instant's `opens`). The Release pairs with
+///   the Acquire fence a quiescence probe issues after observing a
+///   settled window, ordering the reader's final buffer loads before
+///   any in-place buffer reuse by the renamer.
+/// * The pending count is `opens - closes`. Every probe runs on the
+///   spawning thread, where `opens` is exact (own writes) and `closes`
+///   can only lag — so the probe **overestimates** pending readers,
+///   which errs toward renaming: always safe, never racy.
+///   [`pending_relaxed`](Self::pending_relaxed) is for probes that
+///   batch their ordering into one explicit Acquire fence
+///   (`dep::quiescent`); [`pending_acquire`](Self::pending_acquire)
+///   carries the ordering itself. The contract is checked against a
+///   mutex oracle by the proptests below.
+pub(crate) struct ReadWindow {
+    opens: AtomicUsize,
+    closes: AtomicUsize,
+}
+
+impl ReadWindow {
+    pub(crate) fn new() -> Self {
+        ReadWindow {
+            opens: AtomicUsize::new(0),
+            closes: AtomicUsize::new(0),
+        }
+    }
+
+    /// Open one read window (spawner side: single writer, no RMW).
+    pub(crate) fn open(&self) {
+        self.opens
+            .store(self.opens.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
+    /// Close one read window (completing-worker side). Returns `true`
+    /// when this close emptied the window (advisory under concurrent
+    /// opens; exact once the spawner stops opening, which is how the
+    /// oracle tests consume it).
+    pub(crate) fn close(&self) -> bool {
+        let closed = self.closes.fetch_add(1, Ordering::Release) + 1;
+        closed == self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed count probe for callers that follow up with their own
+    /// Acquire fence on the settled path. Spawner-side only: `opens` is
+    /// exact there and `closes` can only lag, so the result is a safe
+    /// overestimate.
+    pub(crate) fn pending_relaxed(&self) -> usize {
+        self.opens
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.closes.load(Ordering::Relaxed))
+    }
+
+    /// Probing count with Acquire on the closes side: a zero observed
+    /// here orders every closed reader's buffer accesses before the
+    /// caller's next move.
+    pub(crate) fn pending_acquire(&self) -> usize {
+        self.opens
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.closes.load(Ordering::Acquire))
+    }
+
+    /// Re-arm a pooled counter for a resurrected version. The caller
+    /// must own the window exclusively (the pool proves it via
+    /// `strong_count == 1` plus an Acquire fence).
+    pub(crate) fn reset_for_reuse(&self) {
+        self.opens.store(0, Ordering::Relaxed);
+        self.closes.store(0, Ordering::Relaxed);
+    }
+}
+
 /// A task's read access to one version of a data object (an `input`
 /// parameter). Created by the dependency analyser at spawn time; used inside
-/// the task body; dropped when the body finishes, which releases the
-/// pending-reader count that renaming decisions consult.
+/// the task body; dropped when the body finishes, which closes the read
+/// window that renaming decisions consult — lock-free, on the worker.
 pub struct ReadBinding<T: TaskData> {
     pub(crate) buf: Arc<VBuf<T>>,
-    /// Unfinished-reader counter of the version (owned by the object state).
-    pub(crate) pending: Arc<AtomicUsize>,
     active: bool,
 }
 
 impl<T: TaskData> ReadBinding<T> {
-    pub(crate) fn new(buf: Arc<VBuf<T>>, pending: Arc<AtomicUsize>) -> Self {
-        pending.fetch_add(1, Ordering::AcqRel);
-        ReadBinding {
-            buf,
-            pending,
-            active: false,
-        }
+    pub(crate) fn new(buf: Arc<VBuf<T>>) -> Self {
+        buf.window().open();
+        ReadBinding { buf, active: false }
     }
 
     /// Borrow the input value. First call begins the validated read window,
@@ -183,7 +279,12 @@ impl<T: TaskData> Drop for ReadBinding<T> {
         if self.active {
             self.buf.end_read();
         }
-        self.pending.fetch_sub(1, Ordering::AcqRel);
+        // The lock-free read-window close: the entire completion-side
+        // cost of an `input` parameter. The last-reader-out result is
+        // not consumed here — quiescence is polled by the spawner — but
+        // the protocol reports it so the oracle tests (and future
+        // wake-on-quiescent users) can observe it.
+        let _last_out = self.buf.window().close();
     }
 }
 
@@ -256,16 +357,15 @@ mod tests {
     #[test]
     fn read_binding_counts_pending() {
         let b = vbuf(7);
-        let pending = Arc::new(AtomicUsize::new(0));
         {
-            let mut r = ReadBinding::new(b.clone(), pending.clone());
-            assert_eq!(pending.load(Ordering::SeqCst), 1);
+            let mut r = ReadBinding::new(b.clone());
+            assert_eq!(b.window().pending_acquire(), 1);
             assert_eq!(*r.get(), 7);
-            let mut r2 = ReadBinding::new(b.clone(), pending.clone());
-            assert_eq!(pending.load(Ordering::SeqCst), 2);
+            let mut r2 = ReadBinding::new(b.clone());
+            assert_eq!(b.window().pending_acquire(), 2);
             assert_eq!(*r2.get(), 7); // concurrent reads are fine
         }
-        assert_eq!(pending.load(Ordering::SeqCst), 0);
+        assert_eq!(b.window().pending_acquire(), 0);
     }
 
     #[test]
@@ -275,7 +375,7 @@ mod tests {
         assert!(!w.is_renamed_copy());
         *w.get_mut() = 42;
         drop(w);
-        let mut r = ReadBinding::new(b, Arc::new(AtomicUsize::new(0)));
+        let mut r = ReadBinding::new(b);
         assert_eq!(*r.get(), 42);
     }
 
@@ -312,7 +412,7 @@ mod tests {
         let b = vbuf(0);
         let mut w = WriteBinding::new(b.clone(), None);
         let _ = w.get_mut();
-        let mut r = ReadBinding::new(b, Arc::new(AtomicUsize::new(0)));
+        let mut r = ReadBinding::new(b);
         let _ = r.get();
     }
 
@@ -320,7 +420,7 @@ mod tests {
     #[should_panic(expected = "write overlapping active reads")]
     fn write_during_read_trips_validation() {
         let b = vbuf(0);
-        let mut r = ReadBinding::new(b.clone(), Arc::new(AtomicUsize::new(0)));
+        let mut r = ReadBinding::new(b.clone());
         let _ = r.get();
         let mut w = WriteBinding::new(b, None);
         let _ = w.get_mut();
@@ -330,10 +430,23 @@ mod tests {
     fn reads_release_window_on_drop() {
         let b = vbuf(0);
         {
-            let mut r = ReadBinding::new(b.clone(), Arc::new(AtomicUsize::new(0)));
+            let mut r = ReadBinding::new(b.clone());
             let _ = r.get();
         }
         let mut w = WriteBinding::new(b, None);
         let _ = w.get_mut(); // must not panic: reader window closed
+    }
+
+    #[test]
+    fn last_reader_out_is_detected_exactly_once() {
+        let w = ReadWindow::new();
+        w.open();
+        w.open();
+        w.open();
+        assert!(!w.close());
+        assert!(!w.close());
+        assert!(w.close(), "third close is last-reader-out");
+        w.open();
+        assert!(w.close(), "detection re-arms after reuse");
     }
 }

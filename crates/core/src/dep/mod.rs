@@ -31,20 +31,20 @@
 //!
 //! ## Critical sections
 //!
-//! On the renaming fast path, each function holds the object mutex only
-//! for the version bookkeeping itself: stats bumps and edge linking
-//! (which may take the structural-recording mutex) happen **after** the
-//! object lock is released, so the per-parameter critical section is a
-//! handful of loads and stores. This is safe because the spawner is the
-//! only thread that rewrites object state (`Runtime: !Sync`), so the
-//! decisions taken under the lock cannot be invalidated before the
-//! edges are linked. The renaming-off ablation path and the region
-//! analyser still link while holding their object/log lock (see
-//! [`link_hazards`] and [`region_deps`]) — all of these locks are taken
-//! by the spawning thread only, and nothing acquires an object or log
-//! mutex while holding the graph mutex.
+//! The **completion side never locks at all**: a worker finishing a
+//! task closes each read window through the lock-free
+//! [`ReadWindow`](crate::data::version) protocol (one Release
+//! `fetch_sub` per `input` parameter). Object version state is
+//! therefore *single-owner* — only the spawning thread touches it — and
+//! is kept in a [`SpawnerCell`](crate::data::object) rather than a
+//! mutex: entering it costs two unfenced flag ops, so the analyser now
+//! links edges (including the producer edge, borrowed in place — no
+//! `Arc` clone per parameter) while *inside* the cell. The cell is not
+//! a lock, so no lock-ordering concern arises from taking the
+//! structural-recording mutex within it; the region analyser's log
+//! mutex (shared with workers' completion marks) is a real lock and
+//! nothing acquires it while holding the graph mutex.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::data::object::{CurrentVersion, Handle};
@@ -59,23 +59,17 @@ use crate::runtime::spawner::TaskSpawner;
 
 /// Analyse an `input` parameter.
 pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBinding<T> {
-    let (producer, binding) = {
-        let mut st = h.obj.state.lock();
-        if !sp.renaming() {
-            st.readers_list.push(Arc::clone(sp.node()));
-        }
-        (
-            st.current.producer.clone(),
-            ReadBinding::new(
-                Arc::clone(&st.current.buf),
-                Arc::clone(&st.current.pending_readers),
-            ),
-        )
-    };
-    if let Some(p) = &producer {
+    let mut st = h.obj.state.lock();
+    if !sp.renaming() {
+        st.readers_list.push(Arc::clone(sp.node()));
+    }
+    // The producer edge is linked in place, borrowing the producer from
+    // the (single-owner, cost-free) state cell — the per-parameter
+    // `Arc` clone/drop pair the mutex-era code paid is gone.
+    if let Some(p) = &st.current.producer {
         sp.link(p, EdgeKind::True);
     }
-    binding
+    ReadBinding::new(Arc::clone(&st.current.buf))
 }
 
 /// Analyse an `output` parameter.
@@ -128,25 +122,23 @@ pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
     if sp.renaming() {
         let pool = sp.version_pooling();
         let mut pooled_rename = None;
-        let (producer, binding) = {
-            let mut st = h.obj.state.lock();
-            let producer = st.current.producer.clone();
-            let readers = st.current.pending_readers.load(Ordering::Acquire);
-            let binding = if readers > 0 {
-                // WAR hazard: rename with deferred copy-in.
-                let (buf, old_buf, hit) =
-                    h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
-                pooled_rename = Some(hit);
-                WriteBinding::new(buf, Some(old_buf))
-            } else {
-                st.current.producer = Some(Arc::clone(sp.node()));
-                WriteBinding::new(Arc::clone(&st.current.buf), None)
-            };
-            (producer, binding)
-        };
-        if let Some(p) = &producer {
+        let mut st = h.obj.state.lock();
+        // Linked in place, as in `read`: the borrow ends before the
+        // version switch below rewrites `current`.
+        if let Some(p) = &st.current.producer {
             sp.link(p, EdgeKind::True);
         }
+        let readers = st.current.buf.window().pending_acquire();
+        let binding = if readers > 0 {
+            // WAR hazard: rename with deferred copy-in.
+            let (buf, old_buf, hit) = h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
+            pooled_rename = Some(hit);
+            WriteBinding::new(buf, Some(old_buf))
+        } else {
+            st.current.producer = Some(Arc::clone(sp.node()));
+            WriteBinding::new(Arc::clone(&st.current.buf), None)
+        };
+        drop(st);
         if let Some(hit) = pooled_rename {
             sp.stats().renames();
             sp.stats().copy_ins();
@@ -184,9 +176,9 @@ pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
 /// of one per load).
 fn quiescent<T>(cur: &CurrentVersion<T>) -> bool {
     let settled = cur.producer.as_ref().is_none_or(|p| p.is_finished_relaxed())
-        && cur.pending_readers.load(Ordering::Relaxed) == 0;
+        && cur.buf.window().pending_relaxed() == 0;
     if settled {
-        std::sync::atomic::fence(Ordering::Acquire);
+        std::sync::atomic::fence(std::sync::atomic::Ordering::Acquire);
     }
     settled
 }

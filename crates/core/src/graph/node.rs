@@ -178,9 +178,45 @@ impl Drop for TakenBody {
 }
 
 /// One link of the lock-free successor list.
-struct SuccNode {
-    succ: Arc<TaskNode>,
-    next: *mut SuccNode,
+///
+/// Links are **pooled**: a link node has two states — *live* (sitting in
+/// a successor stack, `succ` initialised) and *spare* (succ slot dead,
+/// chained through `next` in a node's harvested spare-link stash or the
+/// spawner's link cache). The completion walker moves links live→spare
+/// without freeing; the spawner moves them spare→live without
+/// allocating, so the steady-state release path performs **zero**
+/// allocator traffic (pinned by `tests/alloc_budget.rs`).
+pub(crate) struct SuccNode {
+    succ: MaybeUninit<Arc<TaskNode>>,
+    pub(crate) next: *mut SuccNode,
+}
+
+/// A fresh spare link (succ slot dead).
+pub(crate) fn alloc_link() -> *mut SuccNode {
+    Box::into_raw(Box::new(SuccNode {
+        succ: MaybeUninit::uninit(),
+        next: ptr::null_mut(),
+    }))
+}
+
+/// Free a spare link (succ slot dead).
+///
+/// # Safety
+/// `link` must be a spare link owned by the caller.
+pub(crate) unsafe fn free_link(link: *mut SuccNode) {
+    drop(Box::from_raw(link));
+}
+
+/// Free a whole spare chain (succ slots dead).
+///
+/// # Safety
+/// `head` must be an owned chain of spare links (or null).
+unsafe fn free_spare_chain(mut head: *mut SuccNode) {
+    while !head.is_null() {
+        let next = (*head).next;
+        free_link(head);
+        head = next;
+    }
 }
 
 /// Sentinel meaning "the producer finished; the list is closed". Never
@@ -205,6 +241,14 @@ pub struct TaskNode {
     /// Written exactly once per lifecycle, by the completing thread as
     /// it pushes the node; cleared on reset.
     pub(crate) free_next: AtomicPtr<TaskNode>,
+    /// Spare successor links harvested by `complete`: the walked list's
+    /// link nodes, succ slots dead, chained for reuse. Written by the
+    /// completing thread (which owns the detached list exclusively after
+    /// the close swap); read and cleared by the spawner once it proves
+    /// exclusive ownership for recycling (`reset` path), or by Drop.
+    /// The node free stack's Release-push / Acquire-drain pair carries
+    /// the hand-off ordering.
+    spare_links: UnsafeCell<*mut SuccNode>,
 }
 
 // SAFETY: `body` is written once by the spawning thread before the spawn
@@ -226,6 +270,7 @@ impl TaskNode {
             body: UnsafeCell::new(BodySlot::empty()),
             succs: AtomicPtr::new(ptr::null_mut()),
             free_next: AtomicPtr::new(ptr::null_mut()),
+            spare_links: UnsafeCell::new(ptr::null_mut()),
         })
     }
 
@@ -252,6 +297,14 @@ impl TaskNode {
         *self.state.get_mut() = STATE_PENDING;
         *self.succs.get_mut() = ptr::null_mut();
         *self.free_next.get_mut() = ptr::null_mut();
+    }
+
+    /// Detach this node's harvested spare-link chain (see
+    /// [`spare_links`](Self::spare_links)). Called by the spawner while
+    /// it holds exclusive ownership (the recycling path), so the plain
+    /// cell access is race-free.
+    pub(crate) fn take_spare_links(&mut self) -> *mut SuccNode {
+        std::mem::replace(self.spare_links.get_mut(), ptr::null_mut())
     }
 
     pub(crate) fn id(&self) -> TaskId {
@@ -285,41 +338,64 @@ impl TaskNode {
         self.state.load(Ordering::Relaxed) == STATE_FINISHED
     }
 
-    /// Try to register `succ` as a successor of `self`.
+    /// Try to register `succ` as a successor of `self`, storing the edge
+    /// in the caller-provided spare link.
     ///
-    /// Returns `true` (and retains an `Arc` to the successor) if `self` has
-    /// not finished yet — in that case the caller must count one outstanding
-    /// dependency on `succ`. Returns `false` if `self` already finished, in
-    /// which case the data is already produced and no edge is needed.
-    pub(crate) fn add_successor(&self, succ: &Arc<TaskNode>) -> bool {
+    /// Returns `true` (and retains an `Arc` to the successor, consuming
+    /// `link`) if `self` has not finished yet — in that case the caller
+    /// must count one outstanding dependency on `succ`. Returns `false`
+    /// if `self` already finished: no edge is needed and `link` is left
+    /// spare, still owned by the caller for reuse.
+    ///
+    /// Convenience for tests and non-pooled callers:
+    /// [`add_successor`](Self::add_successor) allocates the link itself.
+    pub(crate) fn add_successor_with(&self, succ: &Arc<TaskNode>, link: *mut SuccNode) -> bool {
         let mut head = self.succs.load(Ordering::Acquire);
         if head == closed() {
             return false;
         }
-        let node = Box::into_raw(Box::new(SuccNode {
-            succ: Arc::clone(succ),
-            next: head,
-        }));
+        // SAFETY: the caller owns `link` (spare state); it stays
+        // unreachable until the CAS below publishes it.
+        unsafe {
+            (*link).succ.write(Arc::clone(succ));
+            (*link).next = head;
+        }
         loop {
             match self.succs.compare_exchange_weak(
                 head,
-                node,
+                link,
                 Ordering::Release,
                 Ordering::Acquire,
             ) {
                 Ok(_) => return true,
                 Err(h) if h == closed() => {
                     // Producer completed between our load and the CAS.
-                    // SAFETY: the node never became reachable.
-                    unsafe { drop(Box::from_raw(node)) };
+                    // SAFETY: the link never became reachable; return it
+                    // to the spare state (drop the retained Arc).
+                    unsafe { (*link).succ.assume_init_drop() };
                     return false;
                 }
                 Err(h) => {
                     head = h;
-                    unsafe { (*node).next = head };
+                    unsafe { (*link).next = head };
                 }
             }
         }
+    }
+
+    /// [`add_successor_with`](Self::add_successor_with) minus the link
+    /// pool: allocates a fresh link and frees it again if the list was
+    /// already closed. Test-only convenience; the runtime always links
+    /// through the spawner's link cache.
+    #[cfg(test)]
+    pub(crate) fn add_successor(&self, succ: &Arc<TaskNode>) -> bool {
+        let link = alloc_link();
+        let added = self.add_successor_with(succ, link);
+        if !added {
+            // SAFETY: `add_successor_with` left the link spare and ours.
+            unsafe { free_link(link) };
+        }
+        added
     }
 
     /// Increment the outstanding-dependency count by one.
@@ -365,11 +441,15 @@ impl TaskNode {
         self.take_body_inner()
     }
 
-    /// [`take_body`](Self::take_body) for a single-threaded runtime
-    /// (`threads == 1`): the main thread is the only consumer, so the
-    /// consumer-election CAS degrades to a load + store while keeping
-    /// the double-schedule tripwire.
-    pub(crate) fn take_body_single(&self) -> TakenBody {
+    /// [`take_body`](Self::take_body) for a job with a statically unique
+    /// consumer, where the consumer-election CAS degrades to a load +
+    /// store while keeping the double-schedule tripwire. Two callers
+    /// qualify: a single-threaded runtime (`threads == 1` — the main
+    /// thread is the only consumer of anything), and a **direct
+    /// hand-off** (the job was never published to any queue — the
+    /// completing worker received the `Arc` straight from `complete`,
+    /// so no other thread can hold a scheduling reference).
+    pub(crate) fn take_body_owned(&self) -> TakenBody {
         if self.state.load(Ordering::Relaxed) != STATE_PENDING {
             panic!("task {:?} ({}) scheduled twice", self.id, self.name);
         }
@@ -447,14 +527,31 @@ impl TaskNode {
         }
         let mut n_ready = 0;
         let mut p = rev;
+        let mut spares: *mut SuccNode = ptr::null_mut();
         while !p.is_null() {
-            // SAFETY: as above; each link is freed exactly once.
-            let link = unsafe { Box::from_raw(p) };
-            p = link.next;
-            if link.succ.release_dep() {
-                n_ready += 1;
-                on_ready(link.succ);
+            // SAFETY: as above — unique owner; each link's Arc is moved
+            // out exactly once, demoting the link to the spare state,
+            // and the link is chained for reuse instead of freed.
+            unsafe {
+                let next = (*p).next;
+                let succ = (*p).succ.assume_init_read();
+                (*p).next = spares;
+                spares = p;
+                p = next;
+                if succ.release_dep() {
+                    n_ready += 1;
+                    on_ready(succ);
+                }
             }
+        }
+        // Stash the walked links on the finished node: the recycler
+        // harvests them into the spawner's link cache; a node that is
+        // never recycled frees them in Drop. Plain store — completion
+        // rights are exclusive after the close swap, and the node free
+        // stack's Release/Acquire pair orders the hand-off.
+        if !spares.is_null() {
+            // SAFETY: exclusive completion-side access (see field docs).
+            unsafe { *self.spare_links.get() = spares };
         }
         n_ready
     }
@@ -471,16 +568,24 @@ impl Drop for TaskNode {
             // consumed.
             unsafe { (slot.drop_fn)(slot.buf.ptr()) };
         }
-        // It also still owns its successor links.
+        // It also still owns its successor links (live: each holds an
+        // Arc that must drop)…
         let head = *self.succs.get_mut();
         if head != closed() {
             let mut p = head;
             while !p.is_null() {
-                // SAFETY: exclusive access in Drop.
-                let link = unsafe { Box::from_raw(p) };
-                p = link.next;
+                // SAFETY: exclusive access in Drop; the link is live.
+                unsafe {
+                    let next = (*p).next;
+                    (*p).succ.assume_init_drop();
+                    free_link(p);
+                    p = next;
+                }
             }
         }
+        // …and any harvested spare links (succ slots dead).
+        // SAFETY: exclusive access in Drop; the chain is spare.
+        unsafe { free_spare_chain(*self.spare_links.get_mut()) };
     }
 }
 

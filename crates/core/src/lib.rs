@@ -57,6 +57,7 @@ pub mod dep;
 pub mod graph;
 pub mod ids;
 pub mod macros;
+mod padded;
 pub mod runtime;
 pub mod sched;
 pub mod stats;

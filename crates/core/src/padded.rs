@@ -1,0 +1,61 @@
+//! Cache-line padding for hot shared atomics.
+//!
+//! The completion fast path made false sharing the next visible cost:
+//! `Shared`'s hot atomics (`next_task`, the finished shards, `hp_used`,
+//! the free-node stack head, the sleep registration count) used to sit
+//! packed in one struct, so the single-writer spawner counter and the
+//! worker-written completion counters invalidated each other's lines on
+//! every bump. [`CachePadded`] gives each of them a line of its own,
+//! the same tool `crossbeam_utils` provides upstream (vendored here
+//! because the shim layer only covers `crossbeam-deque`).
+
+/// Pads and aligns a value to 64 bytes so two padded values never share
+/// a cache line. 64 bytes covers x86-64 and mainstream aarch64; on the
+/// few 128-byte-line parts this halves, not defeats, the isolation.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    pub(crate) fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn padded_values_live_on_distinct_lines() {
+        let pair: [CachePadded<AtomicU64>; 2] = Default::default();
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 64, "padding must separate cache lines");
+        assert_eq!(a % 64, 0, "padded values must be line-aligned");
+    }
+
+    #[test]
+    fn deref_reaches_the_value() {
+        let c = CachePadded::new(AtomicU64::new(7));
+        c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 8);
+    }
+}

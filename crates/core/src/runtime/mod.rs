@@ -3,7 +3,7 @@
 
 pub mod spawner;
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -16,11 +16,12 @@ use crate::data::object::{DataObject, Handle};
 use crate::data::region_handle::{RegionData, RegionHandle, RegionObject};
 use crate::data::representant::Representant;
 use crate::data::TaskData;
-use crate::graph::node::TaskNode;
+use crate::graph::node::{self, SuccNode, TaskNode};
 use crate::graph::record::GraphRecord;
 use crate::ids::{ObjectId, TaskId};
+use crate::padded::CachePadded;
 use crate::sched::queues::{Job, SleepCtl};
-use crate::sched::worker::{find_task, run_task, worker_loop};
+use crate::sched::worker::{find_task, run_task, worker_loop, WorkerCtx};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{EventKind, Trace, TraceCollector};
 
@@ -42,7 +43,8 @@ pub struct Shared {
     pub(crate) hp: Injector<Job>,
     /// Latches true on the first high-priority enqueue; lets `find_task`
     /// skip the HP probe for programs that never use priorities.
-    pub(crate) hp_used: AtomicBool,
+    /// Padded: probed on every lookup and every hand-off continuation.
+    pub(crate) hp_used: CachePadded<AtomicBool>,
     /// The main ready list (FIFO): "a point of distribution of tasks in
     /// areas of the graph that are not being explored".
     pub(crate) main_q: Injector<Job>,
@@ -50,15 +52,23 @@ pub struct Shared {
     pub(crate) central: Injector<Job>,
     /// FIFO-stealing ends of every thread's own list (index 0 = main).
     pub(crate) stealers: Vec<Stealer<Job>>,
-    /// Tasks that have finished executing. The live graph size is
-    /// `next_task - finished`: the spawn count is the single-writer
-    /// `next_task` counter the spawner already maintains, so spawning
-    /// pays no RMW for liveness accounting — only completion does.
-    pub(crate) finished: AtomicU64,
+    /// Tasks that have finished executing, sharded per thread and
+    /// cache-line padded: each shard has a single writer (the thread
+    /// with that index) bumping it with a load + Release store, so
+    /// completion pays no RMW and no shared line — the live graph size
+    /// is `next_task - finished_total()`, summed on demand by the
+    /// barrier/throttle side. (The `lockfree_release(false)` ablation
+    /// funnels every completion through shard 0 with the old AcqRel
+    /// RMW.)
+    pub(crate) finished: Box<[CachePadded<AtomicU64>]>,
     /// Bytes held by live data versions (initial buffers + renamed
     /// copies); watched by the §III memory-limit blocking condition.
     pub(crate) live_bytes: Arc<AtomicUsize>,
-    pub(crate) next_task: AtomicU64,
+    /// Single-writer spawn counter (the spawn count doubles as the
+    /// liveness numerator). Padded: the spawner bumps it per task while
+    /// workers read it in completion probes — without padding it would
+    /// false-share with whatever field the workers write next to it.
+    pub(crate) next_task: CachePadded<AtomicU64>,
     pub(crate) next_obj: AtomicU64,
     pub(crate) graph: Option<Mutex<GraphRecord>>,
     pub(crate) tracer: Option<TraceCollector>,
@@ -68,11 +78,45 @@ pub struct Shared {
     /// spawn-side node pool). Completing threads push finished nodes
     /// through [`TaskNode::free_next`]; only the spawner pops, with a
     /// single `swap` that detaches the whole chain, so the stack is
-    /// MPSC and immune to ABA.
-    pub(crate) free_nodes: AtomicPtr<TaskNode>,
+    /// MPSC and immune to ABA. Padded: every worker CAS-pushes here
+    /// once per task while the spawner swaps it.
+    pub(crate) free_nodes: CachePadded<AtomicPtr<TaskNode>>,
 }
 
 impl Shared {
+    /// Assemble the shared state for `threads` compute threads (one
+    /// finished shard and one stealer per thread).
+    fn build(cfg: RuntimeConfig, stealers: Vec<Stealer<Job>>) -> Shared {
+        let n = cfg.threads;
+        Shared {
+            graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
+            tracer: cfg.tracing.then(|| TraceCollector::new(n)),
+            cfg,
+            stats: Stats::new(n),
+            hp: Injector::new(),
+            hp_used: CachePadded::new(AtomicBool::new(false)),
+            main_q: Injector::new(),
+            central: Injector::new(),
+            stealers,
+            finished: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            live_bytes: Arc::new(AtomicUsize::new(0)),
+            next_task: CachePadded::new(AtomicU64::new(0)),
+            next_obj: AtomicU64::new(0),
+            sleep: SleepCtl::default(),
+            shutdown: AtomicBool::new(false),
+            free_nodes: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// Shared state without worker threads, for unit tests of the
+    /// completion path.
+    #[cfg(test)]
+    pub(crate) fn for_tests(cfg: RuntimeConfig) -> Shared {
+        let locals: Vec<Worker<Job>> = (0..cfg.threads).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        Shared::build(cfg, stealers)
+    }
+
     #[inline]
     pub(crate) fn trace_event(&self, thread: usize, kind: EventKind) {
         if let Some(t) = &self.tracer {
@@ -80,15 +124,25 @@ impl Shared {
         }
     }
 
+    /// Total finished tasks: the Acquire sum of the per-thread shards.
+    /// Each shard is monotonic and its Release bump pairs with these
+    /// Acquire loads, so the sum orders every counted task's effects
+    /// before the caller proceeds — and can only *lag* the truth, never
+    /// overshoot (a barrier therefore never exits early; a momentarily
+    /// stale remote shard is caught by the next loop iteration or the
+    /// bounded park).
+    #[inline]
+    pub(crate) fn finished_total(&self) -> u64 {
+        self.finished.iter().map(|s| s.load(Ordering::Acquire)).sum()
+    }
+
     /// Spawned-but-unfinished task instances (the live graph size).
-    /// Exact on the spawning thread (it owns `next_task`); the Acquire
-    /// load of `finished` orders completed tasks' effects before the
-    /// caller proceeds (barrier exit, throttle release).
+    /// Exact on the spawning thread (it owns `next_task`); see
+    /// [`finished_total`](Self::finished_total) for the completion side.
     #[inline]
     pub(crate) fn live_now(&self) -> usize {
         let spawned = self.next_task.load(Ordering::Relaxed);
-        let finished = self.finished.load(Ordering::Acquire);
-        spawned.saturating_sub(finished) as usize
+        spawned.saturating_sub(self.finished_total()) as usize
     }
 
     /// Hand a finished node to the spawn-side pool. Called by the thread
@@ -160,6 +214,18 @@ impl Drop for Shared {
 /// window's worth of nodes, not the whole program).
 const NODE_CACHE_MAX: usize = 4096;
 
+/// Upper bound on spawner-side cached spare successor links (same
+/// rationale as [`NODE_CACHE_MAX`]; a link is 24 bytes).
+const LINK_CACHE_MAX: usize = 4096;
+
+/// A spare successor link in the spawner's cache. Plain heap data with
+/// a dead payload slot, so moving it between threads is trivially fine;
+/// the newtype exists to keep `Runtime: Send` despite the raw pointer.
+struct LinkPtr(*mut SuccNode);
+
+// SAFETY: a spare link is exclusively-owned inert heap memory.
+unsafe impl Send for LinkPtr {}
+
 /// Exclusive access to a pooled node, or `None` if it is still
 /// referenced elsewhere. This is `Arc::get_mut` minus the weak-count
 /// lock round-trip (two RMWs on the per-spawn critical path):
@@ -202,12 +268,26 @@ fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
 /// ```
 pub struct Runtime {
     pub(crate) shared: Arc<Shared>,
-    /// The main thread's own ready list (thread index 0).
-    pub(crate) main_local: Worker<Job>,
+    /// The main thread's scheduling state (thread index 0): own ready
+    /// list, claimed main-list batch, completion scratch. `RefCell`
+    /// keeps `Runtime: !Sync` — only the main thread helps through it.
+    main_ctx: RefCell<WorkerCtx>,
+    /// Spawner-cached lower bound of `Shared::finished_total()`, so the
+    /// per-spawn graph-size throttle check is one load and a subtract in
+    /// the common (far-under-limit) case instead of a cross-shard sum.
+    /// Monotonic-safe: the bound only lags, so `spawned - bound` only
+    /// overestimates liveness — the throttle can never under-block.
+    finished_seen: Cell<u64>,
     /// Spawner-side cache of recycled task nodes, refilled from
     /// [`Shared::free_nodes`]. `RefCell` keeps `Runtime: !Sync`, which
     /// is load-bearing: only the single spawning thread touches it.
     node_cache: RefCell<Vec<Arc<TaskNode>>>,
+    /// Spawner-side cache of spare successor links, harvested from
+    /// recycled nodes (each completed node stashes its walked successor
+    /// links — see `TaskNode::spare_links`). With it, the steady-state
+    /// release path allocates and frees **nothing**: links cycle
+    /// spawn → successor stack → completion stash → here → spawn.
+    link_cache: RefCell<Vec<LinkPtr>>,
     joins: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -222,24 +302,7 @@ impl Runtime {
         let n = cfg.threads;
         let mut locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
-        let shared = Arc::new(Shared {
-            graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
-            tracer: cfg.tracing.then(|| TraceCollector::new(n)),
-            cfg,
-            stats: Stats::new(n),
-            hp: Injector::new(),
-            hp_used: AtomicBool::new(false),
-            main_q: Injector::new(),
-            central: Injector::new(),
-            stealers,
-            finished: AtomicU64::new(0),
-            live_bytes: Arc::new(AtomicUsize::new(0)),
-            next_task: AtomicU64::new(0),
-            next_obj: AtomicU64::new(0),
-            sleep: SleepCtl::default(),
-            shutdown: AtomicBool::new(false),
-            free_nodes: AtomicPtr::new(std::ptr::null_mut()),
-        });
+        let shared = Arc::new(Shared::build(cfg, stealers));
         let main_local = locals.remove(0);
         let joins = locals
             .into_iter()
@@ -254,8 +317,10 @@ impl Runtime {
             .collect();
         Runtime {
             shared,
-            main_local,
+            main_ctx: RefCell::new(WorkerCtx::new(main_local)),
+            finished_seen: Cell::new(0),
             node_cache: RefCell::new(Vec::new()),
+            link_cache: RefCell::new(Vec::new()),
             joins,
         }
     }
@@ -265,6 +330,7 @@ impl Runtime {
     /// allocation. A candidate still referenced elsewhere (an object's
     /// producer slot, a reader list) is simply dropped and freed by its
     /// remaining holder.
+    #[inline]
     pub(crate) fn acquire_node(&self, id: TaskId, name: &'static str) -> Arc<TaskNode> {
         if self.shared.cfg.node_pool {
             let mut cache = self.node_cache.borrow_mut();
@@ -273,13 +339,61 @@ impl Runtime {
             }
             while let Some(mut node) = cache.pop() {
                 if let Some(n) = exclusive_node_mut(&mut node) {
+                    let links = n.take_spare_links();
                     n.reset_for_reuse(id, name, Priority::Normal);
+                    self.harvest_links(links);
                     self.shared.stats.node_pool_hits();
                     return node;
                 }
             }
         }
         TaskNode::new(id, name, Priority::Normal)
+    }
+
+    /// A spare successor link for the analyser: recycled from the link
+    /// cache when one is parked there, freshly allocated otherwise.
+    #[inline]
+    pub(crate) fn acquire_link(&self) -> *mut SuccNode {
+        self.link_cache
+            .borrow_mut()
+            .pop()
+            .map(|l| l.0)
+            .unwrap_or_else(node::alloc_link)
+    }
+
+    /// Return an unused spare link (the producer had already finished,
+    /// so no edge was stored) to the cache.
+    pub(crate) fn release_link(&self, link: *mut SuccNode) {
+        let mut cache = self.link_cache.borrow_mut();
+        if cache.len() < LINK_CACHE_MAX {
+            cache.push(LinkPtr(link));
+        } else {
+            // SAFETY: the link is spare and exclusively ours.
+            unsafe { node::free_link(link) };
+        }
+    }
+
+    /// Feed a recycled node's harvested spare-link chain into the link
+    /// cache. The exclusivity proof for the node (strong_count == 1 +
+    /// Acquire fence over the free-stack hand-off) covers the chain: the
+    /// completing thread stashed it before pushing the node.
+    fn harvest_links(&self, mut chain: *mut SuccNode) {
+        if chain.is_null() {
+            return;
+        }
+        let mut cache = self.link_cache.borrow_mut();
+        while !chain.is_null() {
+            // SAFETY: exclusively-owned spare chain (see above).
+            unsafe {
+                let next = (*chain).next;
+                if cache.len() < LINK_CACHE_MAX {
+                    cache.push(LinkPtr(chain));
+                } else {
+                    node::free_link(chain);
+                }
+                chain = next;
+            }
+        }
     }
 
     /// Number of compute threads (main + workers).
@@ -376,6 +490,7 @@ impl Runtime {
     /// Begin a task invocation. The returned [`TaskSpawner`](spawner::TaskSpawner)
     /// collects parameter accesses (in declaration order) and is consumed by
     /// `submit`. The `task_def!` macro generates exactly this sequence.
+    #[inline]
     pub fn task(&self, name: &'static str) -> spawner::TaskSpawner<'_> {
         spawner::TaskSpawner::new(self, name)
     }
@@ -397,13 +512,27 @@ impl Runtime {
     pub fn barrier(&self) {
         self.shared.stats.barriers();
         self.shared.trace_event(0, EventKind::BarrierBegin);
-        while self.shared.live_now() > 0 {
-            if !self.help_once() {
+        // Drain on the cached finished lower bound: while the main
+        // thread is helping, each run task advances the bound by one
+        // (its own completion is real), so the busy loop never pays the
+        // cross-shard sum; only an idle pass (workers hold the last
+        // tasks) re-sums before parking. `next_task` is stable here —
+        // the spawner is this thread, and it is in the barrier.
+        let spawned = self.shared.next_task.load(Ordering::Relaxed);
+        let mut seen = self.finished_seen.get();
+        while spawned.saturating_sub(seen) > 0 {
+            if self.help_once() {
+                seen += 1; // our completion, a still-valid lower bound
+                continue;
+            }
+            seen = self.shared.finished_total();
+            if spawned.saturating_sub(seen) > 0 {
                 self.shared
                     .sleep
                     .park(Duration::from_micros(self.shared.cfg.park_micros));
             }
         }
+        self.finished_seen.set(seen);
         self.shared.trace_event(0, EventKind::BarrierEnd);
     }
 
@@ -430,8 +559,8 @@ impl Runtime {
         loop {
             let producer = h.obj.state.lock().current.producer.clone();
             match producer {
-                None => return,
-                Some(p) if p.is_finished() => return,
+                None => break,
+                Some(p) if p.is_finished() => break,
                 Some(_) => {
                     if !self.help_once() {
                         std::thread::yield_now();
@@ -439,6 +568,7 @@ impl Runtime {
                 }
             }
         }
+        self.finish_helping();
     }
 
     /// Wait for `h` to be produced, then return a copy of its value.
@@ -458,36 +588,39 @@ impl Runtime {
             {
                 let st = h.obj.state.lock();
                 let settled = st.current.producer.as_ref().is_none_or(|p| p.is_finished())
-                    && st.current.pending_readers.load(Ordering::Acquire) == 0;
+                    && st.current.buf.window().pending_acquire() == 0;
                 if settled {
                     // SAFETY: no producer running, no pending readers, and
                     // no concurrent spawns (single main thread).
                     unsafe { f(st.current.buf.peek_mut()) };
-                    return;
+                    break;
                 }
             }
             if !self.help_once() {
                 std::thread::yield_now();
             }
         }
+        self.finish_helping();
     }
 
     /// Wait until every task that accessed region-handle `h` has finished,
     /// then run `f` with shared access to the buffer.
     pub fn with_region<T: RegionData, R>(&self, h: &RegionHandle<T>, f: impl FnOnce(&T) -> R) -> R {
-        loop {
+        let out = loop {
             {
                 let log = h.obj.log.lock();
                 if log.all_finished() {
                     // SAFETY: all accessors finished; main thread is the
                     // only spawner, so no new ones can appear.
-                    return unsafe { f(&*h.obj.buf.get()) };
+                    break unsafe { f(&*h.obj.buf.get()) };
                 }
             }
             if !self.help_once() {
                 std::thread::yield_now();
             }
-        }
+        };
+        self.finish_helping();
+        out
     }
 
     /// Mutate a region buffer from the main thread once fully quiescent.
@@ -499,13 +632,14 @@ impl Runtime {
                     // SAFETY: as in `with_region`, plus exclusivity because
                     // no task is live on this object.
                     unsafe { f(&mut *h.obj.buf.get()) };
-                    return;
+                    break;
                 }
             }
             if !self.help_once() {
                 std::thread::yield_now();
             }
         }
+        self.finish_helping();
     }
 
     /// Snapshot of the runtime counters.
@@ -540,9 +674,35 @@ impl Runtime {
 
     /// Run one ready task on the main thread, if any. Returns whether a
     /// task was run. This is the "main thread behaves as a worker" path.
+    /// Exactly one task runs per call — the callers re-check their
+    /// blocking condition between tasks — so a completion hand-off is
+    /// *deferred* into the context's `pending` slot and picked up by the
+    /// next call's lookup, still bypassing every queue.
     pub(crate) fn help_once(&self) -> bool {
-        if let Some((job, src)) = find_task(&self.shared, &self.main_local, 0) {
-            let done = run_task(&self.shared, &self.main_local, 0, job, src);
+        let mut ctx = self.main_ctx.borrow_mut();
+        // High-priority work preempts the deferred hand-off, exactly as
+        // it preempts the worker loop's hand-off chain.
+        if ctx.pending.is_some()
+            && self.shared.hp_used.load(Ordering::Relaxed)
+            && !self.shared.hp.is_empty()
+        {
+            let job = ctx.pending.take().expect("checked above");
+            ctx.local.push(job);
+        }
+        let found = if let Some(job) = ctx.pending.take() {
+            // The deferred hand-off: never published, statically ours.
+            // Counted here — at consumption — so a hand-off demoted to
+            // an own-list push by HP preemption is not misreported.
+            self.shared.stats.handoffs(0);
+            Some((job, crate::sched::TaskSource::OwnList, true))
+        } else {
+            find_task(&self.shared, &mut ctx, 0).map(|(j, s)| (j, s, false))
+        };
+        if let Some((job, src, owned)) = found {
+            let (done, handoff) = run_task(&self.shared, &mut ctx, 0, job, src, true, owned);
+            if handoff.is_some() {
+                ctx.pending = handoff;
+            }
             if self.shared.cfg.node_pool {
                 // The helping thread *is* the spawner: skip the shared
                 // free stack and stash the node straight into the cache.
@@ -557,18 +717,59 @@ impl Runtime {
         }
     }
 
+    /// Re-publish the helper's deferred hand-off onto the (stealable)
+    /// own list. Called when a helping loop exits: its caller may not
+    /// help again for a long time, and a task parked in `pending` is
+    /// invisible to thieves — without this, a ready task could serialize
+    /// behind the spawner's next blocking condition.
+    fn finish_helping(&self) {
+        if self.shared.cfg.threads == 1 {
+            // No thieves exist: the pending slot cannot starve anyone,
+            // and the next helping call consumes it queue-free.
+            return;
+        }
+        let mut ctx = self.main_ctx.borrow_mut();
+        if let Some(job) = ctx.pending.take() {
+            let was_empty = ctx.local.is_empty();
+            ctx.local.push(job);
+            if was_empty {
+                self.shared.sleep.notify_one();
+            }
+        }
+    }
+
     /// Block the spawning path while a §III blocking condition holds
     /// (graph-size limit or memory limit), helping run tasks meanwhile.
+    #[inline]
     pub(crate) fn throttle(&self) {
         if let Some(limit) = self.shared.cfg.graph_size_limit {
-            if self.shared.live_now() > limit {
+            // Fast path on the cached finished lower bound: if even the
+            // overestimate `spawned - seen` fits the limit, actual
+            // liveness does too and the cross-shard sum is skipped.
+            let spawned = self.shared.next_task.load(Ordering::Relaxed);
+            let mut seen = self.finished_seen.get();
+            if spawned.saturating_sub(seen) as usize > limit {
+                seen = self.shared.finished_total();
+                self.finished_seen.set(seen);
+            }
+            if spawned.saturating_sub(seen) as usize > limit {
                 self.shared.stats.throttle_blocks();
                 self.shared.trace_event(0, EventKind::BarrierBegin);
-                while self.shared.live_now() > limit {
-                    if !self.help_once() {
+                // Same cached-lag drain as `barrier`: helping advances
+                // the bound by one per task; an idle pass re-sums.
+                while spawned.saturating_sub(seen) as usize > limit {
+                    if self.help_once() {
+                        seen += 1;
+                    } else {
+                        seen = self.shared.finished_total();
+                        if spawned.saturating_sub(seen) as usize <= limit {
+                            break;
+                        }
                         std::thread::yield_now();
                     }
                 }
+                self.finished_seen.set(seen);
+                self.finish_helping();
                 self.shared.trace_event(0, EventKind::BarrierEnd);
             }
         }
@@ -587,6 +788,7 @@ impl Runtime {
                         std::thread::yield_now();
                     }
                 }
+                self.finish_helping();
                 self.shared.trace_event(0, EventKind::BarrierEnd);
             }
         }
@@ -603,6 +805,11 @@ impl Drop for Runtime {
         self.shared.sleep.notify_all();
         for j in self.joins.drain(..) {
             let _ = j.join();
+        }
+        // Free the cached spare links (plain owned heap memory).
+        for l in self.link_cache.borrow_mut().drain(..) {
+            // SAFETY: cache entries are spare and exclusively ours.
+            unsafe { node::free_link(l.0) };
         }
     }
 }

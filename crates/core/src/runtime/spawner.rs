@@ -59,6 +59,7 @@ pub struct TaskSpawner<'rt> {
 }
 
 impl<'rt> TaskSpawner<'rt> {
+    #[inline]
     pub(crate) fn new(rt: &'rt Runtime, name: &'static str) -> Self {
         // Single writer (`Runtime: !Sync` pins spawning to one thread):
         // load+store avoids a locked RMW per task.
@@ -193,6 +194,7 @@ impl<'rt> TaskSpawner<'rt> {
 
     /// Link a dependency edge `producer -> self`, recording it structurally
     /// and counting it for scheduling if the producer is still unfinished.
+    #[inline]
     pub(crate) fn link(&self, producer: &Arc<TaskNode>, kind: EdgeKind) {
         if Arc::ptr_eq(producer, &self.node) {
             // A task never depends on itself (e.g. `inout` then `input` of
@@ -207,16 +209,29 @@ impl<'rt> TaskSpawner<'rt> {
             EdgeKind::Anti | EdgeKind::Output => self.rt.shared.stats.anti_edges(),
         }
         // Count the dependency BEFORE publishing the successor link: the
-        // producer may complete the instant `add_successor` releases its
-        // lock, and its completion path must find the count already in
-        // place (otherwise the task could be released twice — once by the
-        // uncounted completion, once by the spawn guard).
-        self.node.retain_dep();
-        if producer.add_successor(&self.node) {
+        // producer may complete the instant `add_successor_with`
+        // publishes, and its completion path must find the count already
+        // in place (otherwise the task could be released twice — once by
+        // the uncounted completion, once by the spawn guard).
+        if self.counted_edges.get() == 0 {
+            // First counted edge: no successor link has been published
+            // yet, so no other thread can reach `deps` — the increment
+            // is a plain store (guard + this edge), not an RMW. The
+            // publication CAS below carries the Release edge.
+            self.node.deps.store(2, Ordering::Relaxed);
+        } else {
+            self.node.retain_dep();
+        }
+        // The link node comes from the spawner's spare-link cache (fed
+        // by completed nodes), so the steady-state edge costs no
+        // allocation on either side of its lifecycle.
+        let link = self.rt.acquire_link();
+        if producer.add_successor_with(&self.node, link) {
             self.counted_edges.set(self.counted_edges.get() + 1);
         } else {
             // Producer already finished: undo. The spawn guard is still
             // held, so this can never release the task.
+            self.rt.release_link(link);
             let became_ready = self.node.release_dep();
             debug_assert!(!became_ready, "spawn guard must still be held");
         }

@@ -1,0 +1,346 @@
+//! The completion-side fast path: what a worker does after a task body
+//! returns, built so that **no mutex is reachable from it** (a unit test
+//! below and a CI grep pin this file lock-free, like the deque shim).
+//!
+//! Three mechanisms, mirroring the spawn-side fast path of BENCH_0003:
+//!
+//! 1. **Lock-free read-window close** — happens before this module runs:
+//!    dropping the body's `ReadBinding`s closes each read window through
+//!    the [`ReadWindow`](crate::data::version) protocol (one Release
+//!    `fetch_sub` per `input` parameter). The object mutex is never
+//!    touched off the spawning thread.
+//! 2. **Batched ready publication** ([`finish_task`]): `complete()`
+//!    detaches the successor stack with one swap; the released-ready
+//!    successors are walked into a reusable per-worker buffer and
+//!    published in one shot. The *last* released normal successor — the
+//!    one the own-list LIFO would pop next anyway — is handed straight
+//!    back to the completing worker (the paper's cache-affinity argument
+//!    for per-thread lists, taken to its limit: no queue round-trip at
+//!    all), the rest are pushed as a batch, and one wake decision
+//!    replaces the old one-wake-check-per-successor. A chain completion
+//!    therefore publishes nothing and wakes nobody.
+//! 3. **Sharded completion accounting**: each thread owns a
+//!    cache-line-padded `finished` shard bumped with a single-writer
+//!    load + Release store — the global AcqRel RMW every completion used
+//!    to contend is gone. The barrier sums the shards (Acquire) when it
+//!    needs the total. The all-done wake is only probed on *leaf*
+//!    completions (`n_ready == 0` — only a leaf can be the last task)
+//!    and only when someone is actually parked; a cross-shard sum may
+//!    read a lagging remote shard and miss the instant of completion,
+//!    which the barrier's bounded park absorbs like every other
+//!    lost-wakeup window in the sleep protocol.
+//!
+//! The pre-BENCH_0004 path — one `enqueue_ready` + wake-check per
+//! successor and a global `finished` RMW — is preserved behind
+//! [`RuntimeBuilder::lockfree_release(false)`](crate::RuntimeBuilder::lockfree_release)
+//! for the `release_ablation` study.
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_deque::Worker;
+
+use super::queues::Job;
+use super::worker::enqueue_ready;
+use crate::config::SchedulerPolicy;
+use crate::runtime::{Priority, Shared};
+
+/// How strongly to wake sleepers after a completion. The caller (the
+/// worker loop) executes the plan against [`SleepCtl`]; keeping the
+/// condvar interaction out of this module is what makes "no mutex
+/// reachable from the completion path" a greppable property.
+///
+/// Surplus releases wake **one** sleeper, not all: the woken thief
+/// propagates the wake if its victim still has work (`find_task`), so a
+/// fan-out recruits exactly as many workers as the work sustains instead
+/// of paying a thundering herd up front.
+///
+/// [`SleepCtl`]: super::queues::SleepCtl
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Wake {
+    /// Nothing new became stealable (or nothing transitioned from
+    /// empty): let running workers find the work.
+    None,
+    /// New stealable or high-priority work: one sleeper comes, and
+    /// brings the next one itself if there is more (wake propagation).
+    One,
+    /// The whole graph may just have drained (or several high-priority
+    /// tasks appeared): everyone should look, the barrier included.
+    All,
+}
+
+/// Close out a finished task: mark it finished, publish every successor
+/// it released, and account the completion. Returns the direct hand-off
+/// (the task this worker should run next, bypassing all queues) and the
+/// wake plan.
+///
+/// `claimed_empty` is the caller's private claimed-buffer state: a
+/// non-empty claim means this thread already knows of unfinished work,
+/// so the all-done probe (a cross-shard sum) is skipped outright.
+pub(crate) fn finish_task(
+    shared: &Shared,
+    local: &Worker<Job>,
+    idx: usize,
+    job: &Job,
+    allow_handoff: bool,
+    claimed_empty: bool,
+    ready: &mut Vec<Job>,
+) -> (Option<Job>, Wake) {
+    // `threads == 1`: the main thread is the only consumer and the only
+    // completer, so the list close, the finish flag and the finished
+    // shard all degrade to plain loads and stores.
+    let single = shared.cfg.threads == 1;
+    debug_assert!(ready.is_empty(), "ready buffer must be drained");
+    let n_ready = if single {
+        job.complete_single(|s| ready.push(s))
+    } else {
+        job.complete(|s| ready.push(s))
+    };
+
+    let mut wake = Wake::None;
+    let mut handoff = None;
+    if shared.cfg.lockfree_release {
+        if !ready.is_empty() {
+            wake = publish_batch(shared, local, ready, allow_handoff, &mut handoff);
+        }
+    } else {
+        // Ablation path (BENCH_0003 behaviour): one enqueue and one
+        // wake-check per successor, no hand-off.
+        for s in ready.drain(..) {
+            enqueue_ready(shared, Some(local), s);
+        }
+    }
+
+    // Completion accounting. The shards are indexed by thread, padded,
+    // and single-writer in the fast path; `Shared::finished_total` sums
+    // them on demand.
+    let shard = &shared.finished[idx];
+    if single {
+        // Same plain-store scheme as the sharded path — one code path
+        // for single-thread stats and barrier logic, minus the Release
+        // (nobody else exists to publish to).
+        shard.store(shard.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    } else if shared.cfg.lockfree_release {
+        // Single-writer bump: load + Release store, no RMW. The Release
+        // pairs with the barrier's Acquire sum, ordering this task's
+        // effects before the barrier proceeds.
+        shard.store(shard.load(Ordering::Relaxed) + 1, Ordering::Release);
+        // All-done probe, gated three ways before paying the cross-shard
+        // sum: only a leaf can be the last task, a thread whose own
+        // queues still hold work cannot have finished the graph, and
+        // the wake only matters when someone is parked. A completion
+        // that skips the probe by one of these gates and *was* the last
+        // task is caught by the barrier's bounded park, like every other
+        // lost-wakeup window in the sleep protocol.
+        if n_ready == 0
+            && claimed_empty
+            && local.is_empty()
+            && shared.sleep.has_sleepers()
+            && shared.finished_total() == shared.next_task.load(Ordering::Acquire)
+        {
+            wake = Wake::All;
+        }
+    } else {
+        // Ablation path: the contended global RMW on shard 0 and the
+        // eager all-done / surplus wake of BENCH_0003.
+        let now = shared.finished[0].fetch_add(1, Ordering::AcqRel) + 1;
+        if now == shared.next_task.load(Ordering::Acquire) || n_ready > 1 {
+            wake = Wake::All;
+        }
+    }
+    (handoff, wake)
+}
+
+/// Publish one completion's released successors as a batch. Successors
+/// arrive in registration order (the order `complete` releases and the
+/// policy tests pin). High-priority successors go to the global HP list
+/// as always. Under the SMPSs policy the *last* normal successor is
+/// returned as the hand-off when allowed — exactly the task the own
+/// list's LIFO pop would have produced next — and the rest are pushed
+/// to the completing worker's own list; the central-queue policy pushes
+/// everything to the central FIFO. One wake decision covers the batch:
+/// `One` for surplus work or an empty-transition (the woken thief
+/// propagates further wakes on demand), `All` only when several
+/// high-priority tasks appear at once.
+fn publish_batch(
+    shared: &Shared,
+    local: &Worker<Job>,
+    ready: &mut Vec<Job>,
+    allow_handoff: bool,
+    handoff: &mut Option<Job>,
+) -> Wake {
+    let central = shared.cfg.policy == SchedulerPolicy::CentralQueue;
+    let normal_count = ready
+        .iter()
+        .filter(|s| s.priority() == Priority::Normal)
+        .count();
+    let take_handoff = allow_handoff && !central && normal_count > 0;
+    let was_empty = if central {
+        shared.central.is_empty()
+    } else {
+        local.is_empty()
+    };
+    let mut hp_pushed = 0usize;
+    let mut pushed = 0usize;
+    let mut normals_seen = 0usize;
+    for s in ready.drain(..) {
+        if s.priority() == Priority::High {
+            shared.hp_used.store(true, Ordering::Relaxed);
+            shared.hp.push(s);
+            hp_pushed += 1;
+        } else {
+            normals_seen += 1;
+            if take_handoff && normals_seen == normal_count {
+                *handoff = Some(s);
+            } else if central {
+                shared.central.push(s);
+                pushed += 1;
+            } else {
+                local.push(s);
+                pushed += 1;
+            }
+        }
+    }
+    if hp_pushed > 1 {
+        Wake::All
+    } else if hp_pushed == 1 || pushed > 1 || (pushed == 1 && was_empty) {
+        Wake::One
+    } else {
+        Wake::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::node::TaskNode;
+    use crate::ids::TaskId;
+
+    /// The acceptance gate of the completion-side rewrite: the path a
+    /// worker takes from a finished body to the next task must contain
+    /// no mutex — atomics, deque/injector pushes and the wake *plan*
+    /// only. The needle is assembled at runtime so this test does not
+    /// match itself (same trick as the deque shim's gate).
+    #[test]
+    fn completion_path_contains_no_mutex() {
+        let source = include_str!("completion.rs");
+        let needles = [["Mu", "tex"].concat(), [".lo", "ck()"].concat()];
+        for needle in &needles {
+            assert_eq!(
+                source.matches(needle.as_str()).count(),
+                0,
+                "the completion fast path must stay lock-free (found {:?})",
+                needle
+            );
+        }
+    }
+
+    #[test]
+    fn wake_strength_orders() {
+        assert!(Wake::None < Wake::One);
+        assert!(Wake::One < Wake::All);
+    }
+
+    fn shared(threads: usize) -> Shared {
+        Shared::for_tests(crate::RuntimeBuilder::default().threads(threads).config())
+    }
+
+    fn ready_node(id: u64) -> Job {
+        let n = TaskNode::new(TaskId(id), "t", Priority::Normal);
+        n.install_body(|| {});
+        n
+    }
+
+    /// A fan-out completion hands the *last* released successor to the
+    /// worker (the own-list LIFO order) and pushes the rest in order.
+    #[test]
+    fn batch_hands_off_the_lifo_next_task() {
+        let shared = shared(2);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succs: Vec<Job> = (2..6).map(ready_node).collect();
+        for s in &succs {
+            assert!(producer.add_successor(s));
+            s.retain_dep();
+            assert!(!s.release_dep()); // drop the spawn guard
+        }
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        assert_eq!(handoff.expect("fan-out hands off").id(), TaskId(5));
+        assert_eq!(wake, Wake::One, "surplus wakes one thief; it propagates");
+        // The remaining successors sit in the own list; LIFO pops give
+        // 4, 3, 2 — identical to the pre-hand-off order after popping 5.
+        assert_eq!(local.pop().unwrap().id(), TaskId(4));
+        assert_eq!(local.pop().unwrap().id(), TaskId(3));
+        assert_eq!(local.pop().unwrap().id(), TaskId(2));
+        assert!(local.pop().is_none());
+        assert_eq!(shared.finished_total(), 1);
+    }
+
+    /// A chain completion (exactly one successor) publishes nothing and
+    /// wakes nobody: the successor is the hand-off.
+    #[test]
+    fn chain_completion_is_silent() {
+        let shared = shared(2);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succ = ready_node(2);
+        assert!(producer.add_successor(&succ));
+        succ.retain_dep();
+        assert!(!succ.release_dep());
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        assert_eq!(handoff.unwrap().id(), TaskId(2));
+        assert_eq!(wake, Wake::None, "a hand-off needs no wake");
+        assert!(local.is_empty());
+    }
+
+    /// The helper path never takes a hand-off; the successor goes to the
+    /// own list instead (today's pre-hand-off behaviour).
+    #[test]
+    fn helper_path_declines_handoff() {
+        let shared = shared(2);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succ = ready_node(2);
+        assert!(producer.add_successor(&succ));
+        succ.retain_dep();
+        assert!(!succ.release_dep());
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, &mut ready);
+        assert!(handoff.is_none());
+        assert_eq!(wake, Wake::One, "empty-transition push wakes one");
+        assert_eq!(local.pop().unwrap().id(), TaskId(2));
+    }
+
+    /// The legacy ablation path keeps the BENCH_0003 shape: per-successor
+    /// enqueue, no hand-off, global RMW on shard 0.
+    #[test]
+    fn legacy_release_path_matches_bench_0003_shape() {
+        let shared = Shared::for_tests(
+            crate::RuntimeBuilder::default()
+                .threads(2)
+                .lockfree_release(false)
+                .config(),
+        );
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succs: Vec<Job> = (2..5).map(ready_node).collect();
+        for s in &succs {
+            assert!(producer.add_successor(s));
+            s.retain_dep();
+            assert!(!s.release_dep());
+        }
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 1, &producer, true, true, &mut ready);
+        assert!(handoff.is_none(), "legacy path never hands off");
+        assert_eq!(wake, Wake::All, "legacy surplus release wakes all");
+        assert_eq!(local.len(), 3);
+        // Legacy accounting lands on shard 0 regardless of thread index.
+        assert_eq!(shared.finished[0].load(Ordering::Relaxed), 1);
+        assert_eq!(shared.finished[1].load(Ordering::Relaxed), 0);
+    }
+}

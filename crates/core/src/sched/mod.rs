@@ -18,8 +18,9 @@
 //! to run tasks" whenever it blocks on a barrier or on the graph-size
 //! limit.
 
+pub mod completion;
 pub mod queues;
 pub mod worker;
 
 pub use queues::{Job, SleepCtl, TaskSource};
-pub use worker::{enqueue_ready, find_task, run_task, worker_loop};
+pub use worker::{enqueue_ready, find_task, run_task, worker_loop, WorkerCtx};

@@ -8,6 +8,7 @@ use crossbeam_deque::{Injector, Steal, Stealer};
 use parking_lot::{Condvar, Mutex};
 
 use crate::graph::node::TaskNode;
+use crate::padded::CachePadded;
 
 /// A schedulable unit: a ready task node.
 pub type Job = Arc<TaskNode>;
@@ -74,6 +75,40 @@ pub(crate) fn pop_injector(inj: &Injector<Job>) -> Option<Job> {
     }
 }
 
+/// How many tasks one main-list claim may drain. Big enough to amortise
+/// the claim's fence + CAS across several tasks, small enough that a
+/// claimer never hoards more than a few microseconds of fine-grain work
+/// away from thieves.
+const CLAIM_BATCH: usize = 8;
+
+/// Drain a small batch from an injector into the caller's private
+/// claimed-task buffer with **one** fenced head claim, returning the
+/// first task (`Injector::steal_batch_with_limit_and_collect` in the
+/// deque shim). `claimed` is single-owner and never stolen from, so the
+/// follow-up pops are plain pointer moves — no fence, no CAS — and FIFO
+/// order is the injector's global FIFO order exactly. This is the
+/// batched main-list pop of the completion-side fast path: the
+/// throttled helper and every worker hitting the main list pay one
+/// fenced claim per [`CLAIM_BATCH`] tasks instead of one per task.
+pub(crate) fn pop_injector_batch(
+    inj: &Injector<Job>,
+    claimed: &mut std::collections::VecDeque<Job>,
+) -> Option<Job> {
+    if inj.is_empty() {
+        return None;
+    }
+    let mut backoff = Backoff::new();
+    loop {
+        match inj.steal_batch_with_limit_and_collect(CLAIM_BATCH, &mut |job| {
+            claimed.push_back(job)
+        }) {
+            Steal::Success(job) => return Some(job),
+            Steal::Empty => return None,
+            Steal::Retry => backoff.snooze(),
+        }
+    }
+}
+
 /// Steal one job from another thread's deque, absorbing `Steal::Retry`
 /// with exponential backoff (same empty-probe-first shape as
 /// [`pop_injector`]).
@@ -113,7 +148,10 @@ pub(crate) fn steal_from(stealer: &Stealer<Job>) -> Option<Job> {
 pub struct SleepCtl {
     lock: Mutex<()>,
     cv: Condvar,
-    sleepers: AtomicUsize,
+    /// Cache-line-padded: every completion probes this count (the wake
+    /// fast path), and without padding it false-shares with the mutex
+    /// word that parking threads write.
+    sleepers: CachePadded<AtomicUsize>,
 }
 
 impl Default for SleepCtl {
@@ -121,7 +159,7 @@ impl Default for SleepCtl {
         SleepCtl {
             lock: Mutex::new(()),
             cv: Condvar::new(),
-            sleepers: AtomicUsize::new(0),
+            sleepers: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -137,6 +175,12 @@ impl SleepCtl {
         self.cv.wait_for(&mut guard, timeout);
         self.sleepers.fetch_sub(1, Ordering::Release);
         drop(guard);
+    }
+
+    /// Is anyone parked right now? The completion path gates its
+    /// all-done probe on this (an Acquire load, lock-free).
+    pub fn has_sleepers(&self) -> bool {
+        self.sleepers.load(Ordering::Acquire) > 0
     }
 
     /// Wake one parked thread, if any. The unlocked fast path is a

@@ -1,20 +1,67 @@
 //! The worker loop: task lookup, execution and completion propagation.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam_deque::Worker;
 
-use super::queues::{pop_injector, steal_from, Job, TaskSource};
+use super::completion::{finish_task, Wake};
+use super::queues::{pop_injector, pop_injector_batch, steal_from, Job, TaskSource};
 use crate::config::SchedulerPolicy;
 use crate::runtime::{Priority, Shared};
 use crate::trace::EventKind;
 
+/// One thread's scheduling state: its own ready list, the private
+/// buffer of tasks batch-claimed from the main list, and the reusable
+/// ready-successor buffer of the completion fast path. Thread 0's
+/// context lives in the [`Runtime`](crate::Runtime); workers own theirs
+/// on the stack.
+pub struct WorkerCtx {
+    /// The thread's own ready list (LIFO for the owner, FIFO-stolen).
+    pub(crate) local: Worker<Job>,
+    /// Tasks claimed from the main list in a batch but not yet run.
+    /// Private and single-owner — never stolen from — so pops are plain
+    /// pointer moves (no fence, no CAS), and the batch preserves the
+    /// main list's FIFO order exactly; its tasks still count as
+    /// main-list pops. Sits between the own list and the main list in
+    /// the §III lookup order: the batch is logically the front of the
+    /// main list, already claimed.
+    claimed: VecDeque<Job>,
+    /// The helper path's deferred hand-off: `help_once` must return
+    /// after one task (its caller re-checks a blocking condition), so
+    /// the released successor the worker loop would run immediately is
+    /// parked here and picked up by the next lookup — still bypassing
+    /// every queue. Logically the hottest entry of the own list.
+    pub(crate) pending: Option<Job>,
+    /// Reusable buffer for one completion's released-ready successors
+    /// (the batched-publication scratch space; capacity persists, so
+    /// steady-state completions allocate nothing).
+    ready: Vec<Job>,
+}
+
+impl WorkerCtx {
+    pub(crate) fn new(local: Worker<Job>) -> Self {
+        WorkerCtx {
+            local,
+            claimed: VecDeque::with_capacity(16),
+            pending: None,
+            ready: Vec::with_capacity(32),
+        }
+    }
+}
+
 /// Look for a ready task following the paper's §III order:
-/// high-priority list → own list (LIFO) → main list (FIFO) → steal from
-/// other threads in creation order starting from the next one (FIFO).
-pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Job, TaskSource)> {
+/// high-priority list → own list (the deferred hand-off first, then
+/// LIFO pops) → main list (FIFO; served first from the privately
+/// claimed batch, then by a fresh batch claim) → steal from other
+/// threads in creation order starting from the next one (FIFO). A
+/// successful steal from a victim that still has work wakes one more
+/// sleeper — demand-driven wake propagation, which lets completions
+/// wake a single thief instead of broadcasting.
+#[inline]
+pub fn find_task(shared: &Shared, ctx: &mut WorkerCtx, idx: usize) -> Option<(Job, TaskSource)> {
     // One relaxed load short-circuits the high-priority probe for
     // programs that never use `highpriority` (the common case); once a
     // single HP task has been enqueued the full check runs forever
@@ -27,16 +74,27 @@ pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Jo
     }
     match shared.cfg.policy {
         SchedulerPolicy::Smpss => {
-            if let Some(job) = local.pop() {
+            if let Some(job) = ctx.local.pop() {
                 return Some((job, TaskSource::OwnList));
             }
-            if let Some(job) = pop_injector(&shared.main_q) {
+            // Previously claimed main-list tasks: the front of the main
+            // list, FIFO, already paid for — a plain buffer pop.
+            if let Some(job) = ctx.claimed.pop_front() {
+                return Some((job, TaskSource::MainList));
+            }
+            if let Some(job) = pop_injector_batch(&shared.main_q, &mut ctx.claimed) {
                 return Some((job, TaskSource::MainList));
             }
             let n = shared.stealers.len();
             for off in 1..n {
                 let victim = (idx + off) % n;
                 if let Some(job) = steal_from(&shared.stealers[victim]) {
+                    if !shared.stealers[victim].is_empty() {
+                        // The victim has more: propagate the wake so the
+                        // next sleeper comes for it (replaces the old
+                        // broadcast on surplus releases).
+                        shared.sleep.notify_one();
+                    }
                     return Some((job, TaskSource::Stolen { victim }));
                 }
             }
@@ -56,6 +114,11 @@ pub fn find_task(shared: &Shared, local: &Worker<Job>, idx: usize) -> Option<(Jo
 /// tasks always go to the global high-priority list so that they are
 /// "scheduled as soon as possible independently of any locality
 /// consideration".
+///
+/// This is the spawn-side (and legacy-ablation) publication primitive;
+/// completions on the fast path publish through
+/// [`finish_task`](super::completion::finish_task)'s batch instead.
+#[inline]
 pub fn enqueue_ready(shared: &Shared, local: Option<&Worker<Job>>, job: Job) {
     // Wake a sleeper only when the target queue transitions from empty
     // to non-empty: while it stays non-empty, awake workers are already
@@ -94,16 +157,23 @@ pub fn enqueue_ready(shared: &Shared, local: Option<&Worker<Job>>, job: Job) {
 }
 
 /// Execute one task and propagate readiness to its successors. Returns
-/// the finished node so the caller can recycle it into the spawn-side
-/// pool (workers push the shared free stack; the main thread's help
-/// path stashes it straight into the spawner cache).
+/// the finished node (so the caller can recycle it into the spawn-side
+/// pool) and the direct hand-off, if any: the released successor this
+/// worker should run next without any queue round-trip.
+///
+/// `owned` marks a job that was never published to any queue (a direct
+/// hand-off): its consumer is statically unique, so the body take skips
+/// the consumer-election CAS.
 pub fn run_task(
     shared: &Shared,
-    local: &Worker<Job>,
+    ctx: &mut WorkerCtx,
     idx: usize,
     job: Job,
     source: TaskSource,
-) -> Job {
+    allow_handoff: bool,
+    owned: bool,
+) -> (Job, Option<Job>) {
+    let claimed_empty = ctx.claimed.is_empty();
     match source {
         TaskSource::HighPriority => shared.stats.hp_pops(idx),
         TaskSource::OwnList => shared.stats.own_pops(idx),
@@ -119,59 +189,77 @@ pub fn run_task(
     // stores (no CAS, no RMW, no wakeups — nobody else exists to race
     // or to wake). This is the §III spawner-limited case the paper pins
     // scalability on, so the serial path is kept as lean as possible.
-    let single = shared.cfg.threads == 1;
-    let body = if single {
-        job.take_body_single()
+    let body = if owned || shared.cfg.threads == 1 {
+        job.take_body_owned()
     } else {
         job.take_body()
     };
-    body.run(); // bindings drop here: read windows close, pending counts fall
+    body.run(); // bindings drop here: read windows close lock-free
     shared.trace_event(idx, EventKind::End(job.id()));
 
-    // The completion hand-off is lock-free: `complete` detaches the
-    // successor list with one swap and we enqueue while walking it —
-    // no lock is held anywhere on this path.
-    if single {
-        let _ = job.complete_single(|succ| enqueue_ready(shared, Some(local), succ));
-        let f = shared.finished.load(Ordering::Relaxed) + 1;
-        shared.finished.store(f, Ordering::Relaxed);
-    } else {
-        let n_ready = job.complete(|succ| enqueue_ready(shared, Some(local), succ));
-        let finished_now = shared.finished.fetch_add(1, Ordering::AcqRel) + 1;
-        // `next_task` may lag the spawner by an instant from here; a
-        // missed all-done wake is caught by the barrier's bounded park,
-        // like every other lost-wakeup window in the sleep protocol.
-        if finished_now == shared.next_task.load(Ordering::Acquire) || n_ready > 1 {
-            // Everything done (wake the barrier) or surplus work (wake
-            // thieves).
-            shared.sleep.notify_all();
-        }
+    // The completion hand-off is lock-free end to end: `complete`
+    // detaches the successor list with one swap, the batch publishes in
+    // one shot, and accounting is a padded single-writer shard — see
+    // `sched::completion`. The wake *plan* is executed here, outside
+    // the lock-free module.
+    let (handoff, wake) = finish_task(
+        shared,
+        &ctx.local,
+        idx,
+        &job,
+        allow_handoff,
+        claimed_empty,
+        &mut ctx.ready,
+    );
+    match wake {
+        Wake::None => {}
+        Wake::One => shared.sleep.notify_one(),
+        Wake::All => shared.sleep.notify_all(),
     }
-    job
+    (job, handoff)
 }
 
 /// Body of each spawned worker thread.
 ///
-/// Idle handling: spin-scan a few times, then park. The park timeout
-/// starts at `park_micros` and doubles per consecutive fruitless park
-/// (capped at 32x): a worker that keeps finding nothing stops burning
-/// cycles re-scanning — it is woken promptly by the empty-to-non-empty
-/// notify in [`enqueue_ready`] when work appears, so the growing timeout
+/// After each task the worker first rides the direct hand-off chain —
+/// the released successor runs immediately, no queue, no wake — unless
+/// high-priority work appeared, which preempts the chain ("scheduled as
+/// soon as possible"). Idle handling: spin-scan a few times, then park.
+/// The park timeout starts at `park_micros` and doubles per consecutive
+/// fruitless park (capped at 32x): a worker that keeps finding nothing
+/// stops burning cycles re-scanning — it is woken promptly by the
+/// empty-to-non-empty notify when work appears, so the growing timeout
 /// only bounds the rare lost-wakeup window (see
 /// [`SleepCtl`](super::queues::SleepCtl)).
 pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
     const MAX_PARK_SHIFT: u32 = 5;
+    let mut ctx = WorkerCtx::new(local);
     let mut idle_scans = 0usize;
     let mut parks = 0u32;
     loop {
-        if let Some((job, src)) = find_task(&shared, &local, idx) {
+        if let Some((job, src)) = find_task(&shared, &mut ctx, idx) {
             idle_scans = 0;
             parks = 0;
-            let done = run_task(&shared, &local, idx, job, src);
-            if shared.cfg.node_pool {
-                // Spawn-side fast path: hand the finished node back via
-                // the lock-free free stack; the spawner recycles it.
-                shared.recycle_node(done);
+            let mut next = Some((job, src, false));
+            while let Some((job, src, owned)) = next.take() {
+                let (done, handoff) = run_task(&shared, &mut ctx, idx, job, src, true, owned);
+                if shared.cfg.node_pool {
+                    // Spawn-side fast path: hand the finished node back
+                    // via the lock-free free stack; the spawner recycles
+                    // it.
+                    shared.recycle_node(done);
+                }
+                if let Some(succ) = handoff {
+                    if shared.hp_used.load(Ordering::Relaxed) && !shared.hp.is_empty() {
+                        // High-priority work preempts the chain: park the
+                        // successor on the own list (where it would have
+                        // gone) and rescan from the top of the order.
+                        ctx.local.push(succ);
+                    } else {
+                        shared.stats.handoffs(idx);
+                        next = Some((succ, TaskSource::OwnList, true));
+                    }
+                }
             }
             continue;
         }

@@ -19,6 +19,10 @@ pub(crate) struct PopShard {
     main_pops: AtomicU64,
     hp_pops: AtomicU64,
     steals: AtomicU64,
+    /// Of the own-list pops, how many were direct hand-offs: the
+    /// completing worker ran the released successor immediately, with no
+    /// queue round-trip (a subset of `own_pops`, not a fifth source).
+    handoffs: AtomicU64,
 }
 
 impl PopShard {
@@ -134,6 +138,11 @@ impl Stats {
         PopShard::bump(&self.shards[idx].steals);
     }
 
+    #[inline]
+    pub(crate) fn handoffs(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].handoffs);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let sum = |f: fn(&PopShard) -> &AtomicU64| self.shards.iter().map(|s| ld(f(s))).sum();
@@ -141,6 +150,7 @@ impl Stats {
         let main_pops: u64 = sum(|s| &s.main_pops);
         let hp_pops: u64 = sum(|s| &s.hp_pops);
         let steals: u64 = sum(|s| &s.steals);
+        let handoffs: u64 = sum(|s| &s.handoffs);
         StatsSnapshot {
             tasks_spawned: ld(&self.tasks_spawned),
             tasks_executed: own_pops + main_pops + hp_pops + steals,
@@ -154,6 +164,7 @@ impl Stats {
             main_pops,
             hp_pops,
             steals,
+            handoffs,
             barriers: ld(&self.barriers),
             throttle_blocks: ld(&self.throttle_blocks),
         }
@@ -182,6 +193,10 @@ pub struct StatsSnapshot {
     pub main_pops: u64,
     pub hp_pops: u64,
     pub steals: u64,
+    /// Own-list pops served by direct hand-off (completion-side fast
+    /// path): the released successor ran next on the completing worker
+    /// without touching any queue. Subset of `own_pops`.
+    pub handoffs: u64,
     pub barriers: u64,
     pub throttle_blocks: u64,
 }

@@ -50,6 +50,7 @@ pub enum Steal<T> {
 }
 
 impl<T> Steal<T> {
+    #[inline]
     pub fn is_empty(&self) -> bool {
         matches!(self, Steal::Empty)
     }
@@ -266,6 +267,7 @@ impl<T> Worker<T> {
         }
     }
 
+    #[inline]
     pub fn push(&self, value: T) {
         let inner = &*self.inner;
         let b = inner.bottom.load(Ordering::Relaxed);
@@ -313,6 +315,7 @@ impl<T> Worker<T> {
         }
     }
 
+    #[inline]
     pub fn pop(&self) -> Option<T> {
         match self.flavor {
             Flavor::Lifo => self.pop_lifo(),
@@ -373,6 +376,7 @@ impl<T> Worker<T> {
         }
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
     }
@@ -399,10 +403,12 @@ impl<T> Clone for Stealer<T> {
 }
 
 impl<T> Stealer<T> {
+    #[inline]
     pub fn steal(&self) -> Steal<T> {
         self.inner.steal()
     }
 
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.inner.len() == 0
     }
@@ -430,6 +436,11 @@ const HAS_NEXT: usize = 1;
 const WRITE: usize = 1;
 const READ: usize = 2;
 const DESTROY: usize = 4;
+
+/// Default cap for [`Injector::steal_batch_and_pop`]: enough to amortise
+/// the claim fence across several tasks without hoarding a queue's worth
+/// of work in one consumer.
+const MAX_BATCH: usize = 8;
 
 struct Slot<T> {
     value: UnsafeCell<MaybeUninit<T>>,
@@ -594,6 +605,7 @@ impl<T> Injector<T> {
         self.cache.take().unwrap_or_else(Block::alloc)
     }
 
+    #[inline]
     pub fn push(&self, task: T) {
         let mut backoff = Backoff::new();
         let mut tail = self.tail.index.load(Ordering::Acquire);
@@ -648,6 +660,7 @@ impl<T> Injector<T> {
         }
     }
 
+    #[inline]
     pub fn steal(&self) -> Steal<T> {
         let mut backoff = Backoff::new();
         let (head, block, offset) = loop {
@@ -717,6 +730,127 @@ impl<T> Injector<T> {
         }
     }
 
+    /// Steal up to [`MAX_BATCH`] tasks in one head claim: the first is
+    /// returned, the rest are pushed into `dest` in FIFO order.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        self.steal_batch_with_limit_and_pop(dest, MAX_BATCH)
+    }
+
+    /// Steal up to `limit` tasks with a **single** head CAS (one fenced
+    /// claim instead of one per task), return the first and push the
+    /// rest into `dest` oldest-first — so a FIFO `dest` preserves the
+    /// injector's global FIFO order exactly.
+    pub fn steal_batch_with_limit_and_pop(&self, dest: &Worker<T>, limit: usize) -> Steal<T> {
+        self.steal_batch_with_limit_and_collect(limit, &mut |t| dest.push(t))
+    }
+
+    /// The batch-claim primitive behind
+    /// [`steal_batch_with_limit_and_pop`](Self::steal_batch_with_limit_and_pop):
+    /// returns the first claimed task and feeds the rest, oldest-first,
+    /// to `sink`. **Shim extension over upstream crossbeam**, exposed so
+    /// a caller with a private (single-owner, non-stealable) buffer can
+    /// receive the batch without paying deque atomics per element; the
+    /// runtime's claimed-task buffer is exactly that.
+    ///
+    /// The claim never crosses a block boundary (so the batch walks one
+    /// slot array) and never exceeds what the tail has published; like
+    /// [`steal`](Self::steal) it is lock-free and loses races as
+    /// [`Steal::Retry`].
+    pub fn steal_batch_with_limit_and_collect(
+        &self,
+        limit: usize,
+        sink: &mut impl FnMut(T),
+    ) -> Steal<T> {
+        assert!(limit >= 1, "batch limit must be at least 1");
+        let mut backoff = Backoff::new();
+        let (head, block, offset) = loop {
+            let head = self.head.index.load(Ordering::Acquire);
+            let block = self.head.block.load(Ordering::Acquire);
+            let offset = (head >> SHIFT) % LAP;
+            if offset == BLOCK_CAP {
+                // A consumer is moving the head to the next block.
+                backoff.snooze();
+            } else {
+                break (head, block, offset);
+            }
+        };
+        // How many slots may this claim take? Never past the block's
+        // last usable slot, and never past the published tail.
+        let mut claim = limit.min(BLOCK_CAP - offset);
+        let mut has_next = head & HAS_NEXT != 0;
+        if !has_next {
+            fence(Ordering::SeqCst);
+            let tail = self.tail.index.load(Ordering::Relaxed);
+            if head >> SHIFT == tail >> SHIFT {
+                return Steal::Empty;
+            }
+            if (head >> SHIFT) / LAP == (tail >> SHIFT) / LAP {
+                // Tail is inside this very block: only the slots below
+                // it are published.
+                claim = claim.min((tail >> SHIFT) - (head >> SHIFT));
+            } else {
+                // Tail already left this block: every remaining slot of
+                // the block is published and a successor exists.
+                has_next = true;
+            }
+        }
+        debug_assert!(claim >= 1);
+        let mut new_head = head.wrapping_add(claim << SHIFT);
+        if has_next {
+            new_head |= HAS_NEXT;
+        }
+        if self
+            .head
+            .index
+            .compare_exchange_weak(head, new_head, Ordering::SeqCst, Ordering::Acquire)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        unsafe {
+            // Claimed through the block's last slot: swing the head to
+            // the successor (guaranteed to exist, as in `steal`).
+            if offset + claim == BLOCK_CAP {
+                let next = (*block).wait_next();
+                let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                if !(*next).next.load(Ordering::Relaxed).is_null() {
+                    next_index |= HAS_NEXT;
+                }
+                self.head.block.store(next, Ordering::Release);
+                self.head.index.store(next_index, Ordering::Release);
+            }
+            let mut first: Option<T> = None;
+            for i in 0..claim {
+                let slot = (*block).slots.get_unchecked(offset + i);
+                // The producer claimed the slot before our CAS but may
+                // not have published its value yet.
+                let mut wait = Backoff::new();
+                while slot.state.load(Ordering::Acquire) & WRITE == 0 {
+                    wait.snooze();
+                }
+                let task = slot.value.get().read().assume_init();
+                if first.is_none() {
+                    first = Some(task);
+                } else {
+                    sink(task);
+                }
+                // Per-slot reclamation hand-off, exactly as in `steal`:
+                // the consumer of the block's final slot sweeps from 0;
+                // any slot handed the DESTROY baton continues from its
+                // successor. Earlier batch slots are already READ by the
+                // time the sweep can reach them (they are marked in
+                // order below).
+                if offset + i + 1 == BLOCK_CAP {
+                    Block::destroy(block, 0, &self.cache);
+                } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                    Block::destroy(block, offset + i + 1, &self.cache);
+                }
+            }
+            Steal::Success(first.unwrap())
+        }
+    }
+
+    #[inline]
     pub fn is_empty(&self) -> bool {
         let head = self.head.index.load(Ordering::SeqCst);
         let tail = self.tail.index.load(Ordering::SeqCst);
@@ -882,6 +1016,79 @@ mod tests {
             let s = w.stealer();
             assert!(s.steal().is_success());
             assert!(w.pop().is_some());
+        }
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn batch_pop_preserves_fifo_order() {
+        let inj = Injector::new();
+        let dest = Worker::new_fifo();
+        let n = 3 * BLOCK_CAP + 11; // spans block boundaries
+        for i in 0..n {
+            inj.push(i);
+        }
+        let mut out = Vec::new();
+        loop {
+            match inj.steal_batch_and_pop(&dest) {
+                Steal::Success(v) => {
+                    out.push(v);
+                    while let Some(v) = dest.pop() {
+                        out.push(v);
+                    }
+                }
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_pop_respects_limit_and_tail() {
+        let inj = Injector::new();
+        let dest = Worker::new_fifo();
+        for i in 0..5 {
+            inj.push(i);
+        }
+        // Limit 3: first returned, exactly 2 in dest.
+        assert_eq!(inj.steal_batch_with_limit_and_pop(&dest, 3), Steal::Success(0));
+        assert_eq!(dest.len(), 2);
+        // Only 2 left: a large limit must not over-claim.
+        assert_eq!(inj.steal_batch_with_limit_and_pop(&dest, 64), Steal::Success(3));
+        assert_eq!(dest.len(), 3);
+        assert!(inj.steal_batch_and_pop(&dest).is_empty());
+        assert_eq!(dest.pop(), Some(1));
+        assert_eq!(dest.pop(), Some(2));
+        assert_eq!(dest.pop(), Some(4));
+        assert_eq!(dest.pop(), None);
+    }
+
+    #[test]
+    fn batch_pop_reclaims_blocks_without_leaks() {
+        let probe = Arc::new(());
+        {
+            let inj = Injector::new();
+            let dest = Worker::new_fifo();
+            for _ in 0..4 * BLOCK_CAP {
+                inj.push(Arc::clone(&probe));
+            }
+            let mut got = 0;
+            loop {
+                match inj.steal_batch_and_pop(&dest) {
+                    Steal::Success(v) => {
+                        drop(v);
+                        got += 1;
+                        while let Some(v) = dest.pop() {
+                            drop(v);
+                            got += 1;
+                        }
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => {}
+                }
+            }
+            assert_eq!(got, 4 * BLOCK_CAP);
         }
         assert_eq!(Arc::strong_count(&probe), 1);
     }

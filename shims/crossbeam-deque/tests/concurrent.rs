@@ -71,6 +71,66 @@ fn injector_mpmc_exactly_once() {
 }
 
 #[test]
+fn injector_batch_mpmc_exactly_once() {
+    // Mixed single steals and batch drains racing over one injector:
+    // the exactly-once contract must survive batch claims that span
+    // block-boundary swings and DESTROY hand-offs.
+    const PRODUCERS: usize = 3;
+    const BATCHERS: usize = 2;
+    const SINGLES: usize = 2;
+    const PER_PRODUCER: usize = 5_000;
+    const TOTAL: usize = PRODUCERS * PER_PRODUCER;
+
+    let inj = Arc::new(Injector::new());
+    let seen: Arc<Vec<AtomicUsize>> = Arc::new((0..TOTAL).map(|_| AtomicUsize::new(0)).collect());
+    let taken = Arc::new(AtomicUsize::new(0));
+
+    let mut handles = Vec::new();
+    for p in 0..PRODUCERS {
+        let inj = Arc::clone(&inj);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..PER_PRODUCER {
+                inj.push(p * PER_PRODUCER + i);
+            }
+        }));
+    }
+    for batcher in 0..BATCHERS + SINGLES {
+        let inj = Arc::clone(&inj);
+        let seen = Arc::clone(&seen);
+        let taken = Arc::clone(&taken);
+        let use_batch = batcher < BATCHERS;
+        handles.push(std::thread::spawn(move || {
+            let dest = Worker::new_fifo();
+            while taken.load(Ordering::Acquire) < TOTAL {
+                let got = if use_batch {
+                    inj.steal_batch_and_pop(&dest)
+                } else {
+                    inj.steal()
+                };
+                match got {
+                    Steal::Success(v) => {
+                        seen[v].fetch_add(1, Ordering::Relaxed);
+                        taken.fetch_add(1, Ordering::AcqRel);
+                        while let Some(v) = dest.pop() {
+                            seen[v].fetch_add(1, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::AcqRel);
+                        }
+                    }
+                    Steal::Empty | Steal::Retry => std::thread::yield_now(),
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(inj.is_empty());
+    for (v, count) in seen.iter().enumerate() {
+        assert_eq!(count.load(Ordering::Relaxed), 1, "value {} lost or duplicated", v);
+    }
+}
+
+#[test]
 fn injector_fifo_per_producer_under_contention() {
     // FIFO holds per producer: each producer's values must be consumed
     // in its own push order even when thieves race.
