@@ -432,6 +432,74 @@ fn ablation_release() {
     println!("lock-free/legacy recorded-graph equality: ok");
 }
 
+fn ablation_locality() {
+    println!("\n== Ablation 6: locality-aware placement (hints, mailboxes, steal-half) ==\n");
+
+    // --- the BENCH_0005 gate shape, both switch positions ------------
+    let storm_rate = |locality: bool| {
+        let r = smpss_bench::perf::locality_storm_cfg(4, 30_000, 1, locality);
+        (r.tasks_per_sec, r.counters)
+    };
+    let (lr_on, lst_on) = storm_rate(true);
+    let (lr_off, lst_off) = storm_rate(false);
+    println!(
+        "locality ON : {:>9.0} tasks/s, {} renames / {} hint routes / {} batch steals",
+        lr_on, lst_on.renames, lst_on.locality_hits, lst_on.batch_steals
+    );
+    println!(
+        "locality OFF: {:>9.0} tasks/s, {} renames / {} hint routes ({:.2}x speedup)",
+        lr_off,
+        lst_off.renames,
+        lst_off.locality_hits,
+        lr_on / lr_off
+    );
+    assert!(
+        lst_on.locality_hits > 0,
+        "placement must route through the hints when enabled"
+    );
+    assert_eq!(lst_off.locality_hits, 0, "disabled placement must never route");
+    assert_eq!(lst_off.batch_steals, 0, "disabled placement keeps single steals");
+    assert!(
+        lst_on.renames * 10 < lst_off.renames,
+        "prompt affine consumption must collapse the WAR renames \
+         (on={}, off={})",
+        lst_on.renames,
+        lst_off.renames
+    );
+    assert_eq!(lst_on.total_pops(), lst_on.tasks_executed);
+    assert_eq!(lst_off.total_pops(), lst_off.tasks_executed);
+
+    // Structural equality: placement on/off must record identical
+    // graphs and values on one deterministic multi-threaded program
+    // (edges are timing-independent; only *where* tasks run may differ).
+    let record = |locality: bool| {
+        let rt = Runtime::builder()
+            .threads(4)
+            .locality(locality)
+            .record_graph(true)
+            .build();
+        let hs: Vec<_> = (0..4).map(|i| rt.data(i as i64)).collect();
+        for i in 0..96usize {
+            let (a, d) = (i % 4, (i * 5 + 2) % 4);
+            let mut sp = rt.task("acc");
+            let mut r = sp.read(&hs[a]);
+            let mut w = sp.inout(&hs[d]);
+            sp.submit(move || *w.get_mut() = w.get_mut().wrapping_add(*r.get()));
+        }
+        rt.barrier();
+        let vals: Vec<i64> = hs.iter().map(|h| rt.read(h)).collect();
+        let mut edges = rt.graph().unwrap().edges().to_vec();
+        edges.sort_unstable_by_key(|(from, to, _)| (from.0, to.0));
+        (vals, edges)
+    };
+    assert_eq!(
+        record(true),
+        record(false),
+        "locality on/off must record identical graphs"
+    );
+    println!("locality on/off recorded-graph equality (4 threads): ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "spawn_ablation") {
@@ -444,11 +512,17 @@ fn main() {
         println!("\nrelease ablation checks passed.");
         return;
     }
+    if args.iter().any(|a| a == "locality_ablation") {
+        ablation_locality();
+        println!("\nlocality ablation checks passed.");
+        return;
+    }
     let cal = Calibration::default();
     ablation_renaming(&cal);
     ablation_queues(&cal);
     ablation_graph_limit(&cal);
     ablation_spawn();
     ablation_release();
+    ablation_locality();
     println!("\nall ablation checks passed.");
 }

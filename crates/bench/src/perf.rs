@@ -28,9 +28,9 @@ use std::time::Instant;
 
 use smpss::config::SchedulerPolicy;
 use smpss::sched::TaskSource;
-use smpss::{Runtime, StatsSnapshot};
+use smpss::{Runtime, RuntimeBuilder, StatsSnapshot};
 use smpss_apps::sort::{multisort, random_input, SortParams};
-use smpss_apps::{cholesky, nqueens, strassen, FlatMatrix, HyperMatrix};
+use smpss_apps::{cholesky, nqueens, stencil, strassen, FlatMatrix, HyperMatrix};
 use smpss_blas::Vendor;
 
 use crate::perf_baseline;
@@ -38,7 +38,27 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0004";
+pub const BENCH_ID: &str = "BENCH_0005";
+
+/// Locality placement for the suite's runtimes. Every workload builds
+/// its runtime through [`suite_builder`], so setting
+/// `SMPSS_PERF_LOCALITY=off` measures the whole suite on the
+/// pre-BENCH_0005 scheduler — `locality(false)` restores the BENCH_0004
+/// placement *exactly* (main-list born-ready publication, single-task
+/// steals, no hint bookkeeping) — which is how the frozen baseline in
+/// [`perf_baseline`] was captured at the pre-change commit. Cached: an
+/// env probe allocates, and the measurement-hygiene rules below forbid
+/// stray allocations near the clock.
+fn perf_locality() -> bool {
+    static LOCALITY: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *LOCALITY.get_or_init(|| std::env::var("SMPSS_PERF_LOCALITY").map_or(true, |v| v != "off"))
+}
+
+/// The builder every suite workload starts from (threads + the
+/// env-selected locality switch; see [`perf_locality`]).
+fn suite_builder(threads: usize) -> RuntimeBuilder {
+    Runtime::builder().threads(threads).locality(perf_locality())
+}
 
 /// Schema tag checked by `perfsuite --check`.
 pub const SCHEMA: &str = "smpss-bench/1";
@@ -375,7 +395,7 @@ pub fn task_storm(
     reps: usize,
 ) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).policy(policy).build();
+        let rt = suite_builder(threads).policy(policy).build();
         let t0 = Instant::now();
         for _ in 0..tasks {
             rt.task("storm").submit(|| {});
@@ -401,7 +421,7 @@ pub fn task_storm(
 #[inline(never)]
 pub fn task_chain(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).build();
+        let rt = suite_builder(threads).build();
         let x = rt.data(0u64);
         let t0 = Instant::now();
         for _ in 0..tasks {
@@ -430,7 +450,7 @@ pub fn task_chain(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
 pub fn app_cholesky(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let spd = FlatMatrix::random_spd(n * STRUCT_M, 11);
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).build();
+        let rt = suite_builder(threads).build();
         let a = HyperMatrix::from_flat(&rt, &spd, STRUCT_M);
         let t0 = Instant::now();
         cholesky::cholesky_hyper(&rt, &a, Vendor::Tuned);
@@ -456,7 +476,7 @@ pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
     let af = FlatMatrix::random(n * STRUCT_M, 15);
     let bf = FlatMatrix::random(n * STRUCT_M, 16);
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).build();
+        let rt = suite_builder(threads).build();
         let a = HyperMatrix::from_flat(&rt, &af, STRUCT_M);
         let b = HyperMatrix::from_flat(&rt, &bf, STRUCT_M);
         let c = HyperMatrix::dense_zeros(&rt, n, STRUCT_M);
@@ -487,7 +507,7 @@ pub fn app_strassen(threads: usize, n: usize, reps: usize) -> WorkloadResult {
 #[inline(never)]
 pub fn spawn_storm(tasks: u64, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let rt = suite_builder(1).graph_size_limit(256).build();
         let t0 = Instant::now();
         for _ in 0..tasks {
             rt.task("spawn").submit(|| {});
@@ -517,7 +537,7 @@ pub fn rename_storm(tasks: u64, reps: usize) -> WorkloadResult {
     const OBJECTS: usize = 64;
     const ELEMS: usize = 64;
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let rt = suite_builder(1).graph_size_limit(256).build();
         let objs: Vec<_> = (0..OBJECTS)
             .map(|_| rt.data_sized(vec![0f32; ELEMS], ELEMS * 4, || vec![0f32; ELEMS]))
             .collect();
@@ -562,7 +582,7 @@ pub fn region_storm(tasks: u64, reps: usize) -> WorkloadResult {
     const BLOCKS: usize = 64;
     const WIDTH: usize = 64;
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(1).graph_size_limit(256).build();
+        let rt = suite_builder(1).graph_size_limit(256).build();
         let data = rt.region_data(vec![0u8; BLOCKS * WIDTH]);
         let rounds = (tasks as usize).div_ceil(BLOCKS);
         let t0 = Instant::now();
@@ -598,7 +618,7 @@ pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
         merge_chunk: 256,
     };
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).build();
+        let rt = suite_builder(threads).build();
         let t0 = Instant::now();
         let sorted = multisort(&rt, input.clone(), params);
         let secs = t0.elapsed().as_secs_f64();
@@ -620,7 +640,7 @@ pub fn app_multisort(threads: usize, n: usize, reps: usize) -> WorkloadResult {
 #[inline(never)]
 pub fn app_nqueens(threads: usize, n: usize, levels: usize, reps: usize) -> WorkloadResult {
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder().threads(threads).build();
+        let rt = suite_builder(threads).build();
         let t0 = Instant::now();
         let _count = nqueens::nqueens_smpss(&rt, n, levels);
         rt.barrier();
@@ -658,8 +678,7 @@ pub fn fanout_storm_cfg(threads: usize, tasks: u64, reps: usize, lockfree: bool)
     const FAN: u64 = 12;
     let rounds = tasks / (FAN + 1);
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder()
-            .threads(threads)
+        let rt = suite_builder(threads)
             .graph_size_limit(512)
             .lockfree_release(lockfree)
             .build();
@@ -710,8 +729,7 @@ pub fn chain_storm_cfg(threads: usize, tasks: u64, reps: usize, lockfree: bool) 
     const CHAINS: usize = 16;
     let per_chain = tasks / CHAINS as u64;
     let (secs, executed, counters) = best_of(reps, || {
-        let rt = Runtime::builder()
-            .threads(threads)
+        let rt = suite_builder(threads)
             .lockfree_release(lockfree)
             .build();
         let hs: Vec<_> = (0..CHAINS).map(|_| rt.data(0u64)).collect();
@@ -733,6 +751,102 @@ pub fn chain_storm_cfg(threads: usize, tasks: u64, reps: usize, lockfree: bool) 
     });
     WorkloadResult {
         name: format!("chain_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Locality storm (BENCH_0005): reader + `inout`-writer churn over a
+/// fixed working set under a tight §III throttle — the pattern the
+/// placement subsystem was built for. Without placement, every reader
+/// funnels through the main list FIFO and is still *pending* when its
+/// site's next writer is analysed, so the writer renames and pays the
+/// deferred copy-in — 15k renames for 30k tasks, the WAR pathology of
+/// §III renaming under locality-blind scheduling. With placement on,
+/// the `last_writer` hints elect the spawning thread, the reader parks
+/// in the self-hand-off window and runs (LIFO, own-list discipline)
+/// *before* the writer's analysis: the writer finds the version
+/// quiescent and reuses it in place. Renames collapse to warm-up noise
+/// — the speedup is the measured price of the renames, copy-ins and
+/// buffer churn that prompt affine consumption avoids.
+#[inline(never)]
+pub fn locality_storm(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    locality_storm_cfg(threads, tasks, reps, perf_locality())
+}
+
+/// [`locality_storm`] with the placement switch explicit (the
+/// `locality_ablation` study runs the same shape both ways).
+pub fn locality_storm_cfg(
+    threads: usize,
+    tasks: u64,
+    reps: usize,
+    locality: bool,
+) -> WorkloadResult {
+    const SITES: usize = 64;
+    const ELEMS: usize = 64;
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = Runtime::builder()
+            .threads(threads)
+            .graph_size_limit(32)
+            .locality(locality)
+            .build();
+        let objs: Vec<_> = (0..SITES)
+            .map(|_| rt.data_sized(vec![0f32; ELEMS], ELEMS * 4, || vec![0f32; ELEMS]))
+            .collect();
+        let t0 = Instant::now();
+        for i in 0..(tasks / 2) {
+            let h = &objs[(i as usize) % SITES];
+            {
+                let mut sp = rt.task("ls_read");
+                let mut r = sp.read(h);
+                sp.submit(move || {
+                    std::hint::black_box(r.get()[0]);
+                });
+            }
+            {
+                let mut sp = rt.task("ls_write");
+                let mut w = sp.inout(h);
+                sp.submit(move || w.get_mut()[0] += 1.0);
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("locality_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
+/// Region stencil sweep (BENCH_0005): `steps` Jacobi waves over an
+/// `n x n` grid in horizontal bands (the §V.A wavefront). Each band of
+/// step `s+1` overlaps three writers of step `s`, so almost every task
+/// is completion-released with competing neighbour hints — the
+/// workload the per-object placement ballot (region votes weighed by
+/// size) and the steal-half spread were built for.
+#[inline(never)]
+pub fn stencil_sweep(threads: usize, n: usize, steps: usize, reps: usize) -> WorkloadResult {
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = suite_builder(threads).build();
+        let grid = vec![1.0f32; n * n];
+        let t0 = Instant::now();
+        let out = stencil::jacobi(&rt, grid, n, steps, 2);
+        let secs = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&out);
+        let st = rt.stats();
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("stencil_sweep/n{}s{}/t{}", n, steps, threads),
         threads,
         tasks: executed,
         secs,
@@ -766,11 +880,14 @@ pub fn suite_plan(quick: bool) -> Vec<String> {
     plan.push("region_storm/t1".into());
     plan.push("fanout_storm/t8".into());
     plan.push("chain_storm/t8".into());
+    plan.push("locality_storm/t8".into());
     if quick {
+        plan.push("stencil_sweep/n34s20/t8".into());
         plan.push("cholesky_hyper/n6/t8".into());
         plan.push("multisort/n20000/t8".into());
         plan.push("nqueens/n7l2/t8".into());
     } else {
+        plan.push("stencil_sweep/n66s60/t8".into());
         plan.push("cholesky_hyper/n14/t8".into());
         plan.push("strassen/n4/t8".into());
         plan.push("multisort/n120000/t8".into());
@@ -814,6 +931,12 @@ pub fn run_one(name: &str, quick: bool) -> Option<WorkloadResult> {
         "region_storm" => region_storm(if quick { 2_048 } else { 16_384 }, reps.min(3)),
         "fanout_storm" => fanout_storm(8, storm_tasks, reps),
         "chain_storm" => chain_storm(8, storm_tasks, reps),
+        "locality_storm" => locality_storm(8, storm_tasks, reps),
+        "stencil_sweep" => {
+            let spec = parts.next()?.strip_prefix('n')?;
+            let (n, steps) = spec.split_once('s')?;
+            stencil_sweep(8, n.parse().ok()?, steps.parse().ok()?, reps.min(3))
+        }
         "cholesky_hyper" => {
             let n: usize = parts.next()?.strip_prefix('n')?.parse().ok()?;
             app_cholesky(8, n, if quick { 1 } else { 2 })
@@ -908,6 +1031,8 @@ pub fn parse_workload(doc: &JsonValue) -> Result<WorkloadResult, String> {
             hp_pops: cnum("hp_pops"),
             steals: cnum("steals"),
             handoffs: cnum("handoffs"),
+            locality_hits: cnum("locality_hits"),
+            batch_steals: cnum("batch_steals"),
             ..Default::default()
         },
         name,
@@ -925,6 +1050,8 @@ fn counters_json(c: &StatsSnapshot) -> JsonValue {
         ("hp_pops".into(), JsonValue::Num(c.source_pops(TaskSource::HighPriority) as f64)),
         ("steals".into(), JsonValue::Num(c.source_pops(TaskSource::Stolen { victim: 0 }) as f64)),
         ("handoffs".into(), JsonValue::Num(c.handoffs as f64)),
+        ("locality_hits".into(), JsonValue::Num(c.locality_hits as f64)),
+        ("batch_steals".into(), JsonValue::Num(c.batch_steals as f64)),
     ])
 }
 

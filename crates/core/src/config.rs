@@ -36,6 +36,7 @@ pub struct RuntimeConfig {
     pub(crate) version_pool: bool,
     pub(crate) indexed_regions: bool,
     pub(crate) lockfree_release: bool,
+    pub(crate) locality: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -54,6 +55,7 @@ impl Default for RuntimeConfig {
             version_pool: true,
             indexed_regions: true,
             lockfree_release: true,
+            locality: true,
         }
     }
 }
@@ -173,6 +175,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable or disable locality-aware placement (default: on; only
+    /// meaningful under the SMPSs policy with more than one thread).
+    /// With it, each data object tracks the worker that last wrote it
+    /// (§III's cache-affinity motivation for the per-thread lists); a
+    /// task whose hinted inputs agree is published to the **preferred
+    /// worker's** affinity mailbox instead of the main list, and thieves
+    /// steal **half** a victim's deque per traversal instead of one
+    /// task. The off position restores the BENCH_0004 placement (main
+    /// list for born-ready tasks, single-task steals) for the
+    /// `locality_ablation` study and the BENCH_0005 baseline.
+    pub fn locality(mut self, on: bool) -> Self {
+        self.cfg.locality = on;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
@@ -201,6 +218,7 @@ mod tests {
         assert!(c.version_pool);
         assert!(c.indexed_regions);
         assert!(c.lockfree_release);
+        assert!(c.locality);
     }
 
     #[test]
@@ -210,11 +228,13 @@ mod tests {
             .version_pool(false)
             .indexed_regions(false)
             .lockfree_release(false)
+            .locality(false)
             .config();
         assert!(!c.node_pool);
         assert!(!c.version_pool);
         assert!(!c.indexed_regions);
         assert!(!c.lockfree_release);
+        assert!(!c.locality);
     }
 
     #[test]

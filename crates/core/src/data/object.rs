@@ -136,6 +136,14 @@ pub(crate) struct ObjState<T> {
     pub(crate) readers_list: Vec<Arc<TaskNode>>,
     /// The version-buffer pool: renamed-away versions awaiting reuse.
     pub(crate) retired: Vec<RetiredVersion<T>>,
+    /// Locality hint: worker that ran the last *finished* writer of
+    /// this object ([`HINT_NONE`](crate::graph::node::HINT_NONE) until
+    /// one is observed). A plain field in the spawner-owned cell — the
+    /// analyser refreshes it when it sees the current producer finished
+    /// and feeds it into the spawning task's preferred-worker vote; no
+    /// new synchronisation anywhere (the producer's finish flag already
+    /// orders its `ran_on` record).
+    pub(crate) last_writer: usize,
 }
 
 pub(crate) struct DataObject<T: TaskData> {
@@ -171,6 +179,7 @@ impl<T: TaskData> DataObject<T> {
                 },
                 readers_list: Vec::new(),
                 retired: Vec::new(),
+                last_writer: crate::graph::node::HINT_NONE,
             }),
         }
     }

@@ -31,7 +31,7 @@
 use std::sync::Arc;
 
 use crate::data::region::{Region, RegionBound};
-use crate::graph::node::TaskNode;
+use crate::graph::node::{TaskNode, HINT_NONE};
 use crate::graph::record::EdgeKind;
 use crate::ids::TaskId;
 
@@ -71,6 +71,15 @@ impl RegionLog {
     /// overlapping `region` (in log-insertion order, skipping entries of
     /// the spawning task `me` itself), prune finished entries when
     /// `prune`, then append the access.
+    ///
+    /// When `hint` is set, the scan additionally harvests a **locality
+    /// hint**: the worker that ran the most recently logged overlapping
+    /// *finished* writer (`None` when no such entry was encountered).
+    /// The harvest is advisory — the two log variants may disagree on
+    /// entries one of them already pruned — and never influences the
+    /// emitted edges, so the linear/indexed equivalence property is
+    /// untouched.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
         region: &Region,
@@ -78,11 +87,12 @@ impl RegionLog {
         me: TaskId,
         node: &Arc<TaskNode>,
         prune: bool,
+        hint: bool,
         emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
-    ) {
+    ) -> Option<usize> {
         match self {
-            RegionLog::Linear(l) => l.record(region, write, me, node, prune, emit),
-            RegionLog::Indexed(l) => l.record(region, write, me, node, prune, emit),
+            RegionLog::Linear(l) => l.record(region, write, me, node, prune, hint, emit),
+            RegionLog::Indexed(l) => l.record(region, write, me, node, prune, hint, emit),
         }
     }
 
@@ -119,6 +129,7 @@ pub(crate) struct LinearLog {
 }
 
 impl LinearLog {
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         region: &Region,
@@ -126,10 +137,26 @@ impl LinearLog {
         me: TaskId,
         node: &Arc<TaskNode>,
         prune: bool,
+        hint: bool,
         emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
-    ) {
+    ) -> Option<usize> {
+        let mut best: Option<usize> = None;
         if prune {
-            self.entries.retain(|e| !e.node.is_finished());
+            // Entries are in insertion order, so "last assignment wins"
+            // harvests the most recently logged finished writer.
+            self.entries.retain(|e| {
+                if e.node.is_finished() {
+                    if hint && e.write && e.node.id() != me && e.region.overlaps(region) {
+                        let w = e.node.ran_on();
+                        if w != HINT_NONE {
+                            best = Some(w);
+                        }
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
         }
         for e in self.entries.iter() {
             if e.node.id() == me {
@@ -137,6 +164,14 @@ impl LinearLog {
             }
             if !e.region.overlaps(region) {
                 continue;
+            }
+            // Structural-recording mode keeps finished entries: they may
+            // carry the hint (prune mode freed them in the retain above).
+            if hint && e.write && e.node.is_finished() {
+                let w = e.node.ran_on();
+                if w != HINT_NONE {
+                    best = Some(w);
+                }
             }
             if let Some(kind) = edge_kind(e.write, write) {
                 emit(&e.node, kind);
@@ -147,6 +182,7 @@ impl LinearLog {
             write,
             node: Arc::clone(node),
         });
+        best
     }
 }
 
@@ -195,6 +231,11 @@ pub(crate) struct IndexedLog {
     since_sweep: usize,
     /// Scratch for match sorting (kept to avoid per-query allocation).
     matches: Vec<(u64, u32)>,
+    /// Locality-hint harvest of the current query: `(seq, worker)` of
+    /// the latest overlapping finished writer seen so far. Only
+    /// maintained while `want_hint` (set per record call).
+    hint_best: Option<(u64, usize)>,
+    want_hint: bool,
 }
 
 impl Default for IndexedLog {
@@ -211,6 +252,8 @@ impl Default for IndexedLog {
             query_stamp: 0,
             since_sweep: 0,
             matches: Vec::new(),
+            hint_best: None,
+            want_hint: false,
         }
     }
 }
@@ -364,6 +407,19 @@ impl IndexedLog {
                 continue;
             }
             if prune && slot.access.as_ref().unwrap().node.is_finished() {
+                // About to be pruned: an overlapping finished writer is
+                // exactly a locality-hint source (the linear log
+                // harvests the same entries in its retain pass).
+                if self.want_hint {
+                    let seq = slot.seq;
+                    let a = slot.access.as_ref().unwrap();
+                    if a.write && a.node.id() != me && a.region.overlaps(region) {
+                        let w = a.node.ran_on();
+                        if w != HINT_NONE && self.hint_best.is_none_or(|(s, _)| seq > s) {
+                            self.hint_best = Some((seq, w));
+                        }
+                    }
+                }
                 self.free_slot(r.idx);
                 let list = if wide { &mut self.wide } else { &mut self.tiles[tile] };
                 list.swap_remove(i);
@@ -381,6 +437,7 @@ impl IndexedLog {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &mut self,
         region: &Region,
@@ -388,10 +445,13 @@ impl IndexedLog {
         me: TaskId,
         node: &Arc<TaskNode>,
         prune: bool,
+        hint: bool,
         emit: &mut dyn FnMut(&Arc<TaskNode>, EdgeKind),
-    ) {
+    ) -> Option<usize> {
         self.query_stamp += 1;
         self.since_sweep += 1;
+        self.want_hint = hint;
+        self.hint_best = None;
         if prune && self.since_sweep > 2 * self.slots.len().max(64) {
             self.sweep();
         }
@@ -427,8 +487,17 @@ impl IndexedLog {
         // Emit in insertion order — exactly the linear log's order.
         self.matches.sort_unstable_by_key(|&(seq, _)| seq);
         let matches = std::mem::take(&mut self.matches);
-        for &(_, idx) in &matches {
+        for &(seq, idx) in &matches {
             let a = self.slots[idx as usize].access.as_ref().unwrap();
+            // Structural-recording mode keeps finished entries in the
+            // match set: harvest the hint here (prune mode harvested it
+            // on the free path in `scan_list`).
+            if hint && a.write && a.node.is_finished() {
+                let w = a.node.ran_on();
+                if w != HINT_NONE && self.hint_best.is_none_or(|(s, _)| seq > s) {
+                    self.hint_best = Some((seq, w));
+                }
+            }
             if let Some(kind) = edge_kind(a.write, write) {
                 emit(&a.node, kind);
             }
@@ -471,6 +540,7 @@ impl IndexedLog {
         self.next_seq += 1;
         self.live += 1;
         self.register(idx);
+        self.hint_best.map(|(_, w)| w)
     }
 }
 
@@ -504,10 +574,10 @@ mod tests {
     ) -> (Emitted, Emitted) {
         let mut a = Vec::new();
         let mut b = Vec::new();
-        linear.record(region, write, me, node, prune, &mut |n, k| {
+        linear.record(region, write, me, node, prune, true, &mut |n, k| {
             a.push((n.id().0, k))
         });
-        indexed.record(region, write, me, node, prune, &mut |n, k| {
+        indexed.record(region, write, me, node, prune, true, &mut |n, k| {
             b.push((n.id().0, k))
         });
         (a, b)
@@ -588,8 +658,8 @@ mod tests {
             let n = node(1);
             let mut edges = 0usize;
             let mut emit = |_: &Arc<TaskNode>, _: EdgeKind| edges += 1;
-            log.record(&Region::d1(0..=9), true, TaskId(1), &n, true, &mut emit);
-            log.record(&Region::d1(5..=14), true, TaskId(1), &n, true, &mut emit);
+            log.record(&Region::d1(0..=9), true, TaskId(1), &n, true, false, &mut emit);
+            log.record(&Region::d1(5..=14), true, TaskId(1), &n, true, false, &mut emit);
             assert_eq!(edges, 0, "indexed={}", indexed);
         }
     }
@@ -599,7 +669,7 @@ mod tests {
         for indexed in [false, true] {
             let mut log = RegionLog::new(indexed);
             let n = node(1);
-            log.record(&Region::d1(0..=3), true, TaskId(1), &n, true, &mut |_, _| {});
+            log.record(&Region::d1(0..=3), true, TaskId(1), &n, true, false, &mut |_, _| {});
             assert!(!log.all_finished(), "indexed={}", indexed);
             finish(&n);
             assert!(log.all_finished(), "indexed={}", indexed);
@@ -686,7 +756,7 @@ mod tests {
     fn range_growth_rebuilds_and_keeps_entries_queryable() {
         let mut log = RegionLog::new(true);
         let n1 = node(1);
-        log.record(&Region::d1(0..=9), true, TaskId(1), &n1, false, &mut |_, _| {});
+        log.record(&Region::d1(0..=9), true, TaskId(1), &n1, false, false, &mut |_, _| {});
         // Far outside the initial range: forces a rebuild.
         let n2 = node(2);
         log.record(
@@ -695,12 +765,13 @@ mod tests {
             TaskId(2),
             &n2,
             false,
+            false,
             &mut |_, _| {},
         );
         // Overlaps the first entry: the rebuilt index must still find it.
         let n3 = node(3);
         let mut hit = Vec::new();
-        log.record(&Region::d1(5..=6), false, TaskId(3), &n3, false, &mut |n, k| {
+        log.record(&Region::d1(5..=6), false, TaskId(3), &n3, false, false, &mut |n, k| {
             hit.push((n.id().0, k))
         });
         assert_eq!(hit, vec![(1, EdgeKind::True)]);

@@ -57,11 +57,40 @@ use crate::data::TaskData;
 use crate::graph::record::EdgeKind;
 use crate::runtime::spawner::TaskSpawner;
 
+/// Refresh an object's `last_writer` locality hint and cast this
+/// parameter's preferred-worker vote (weight 1 for whole-object
+/// parameters). Called only when locality placement is live (the
+/// spawner caches the flag), so the ablation/off path pays one branch.
+///
+/// The hint protocol, all plain stores in the spawner-owned cell:
+/// * producer finished → its `ran_on` record **is** the last writer;
+///   cache it in the cell and vote for it.
+/// * producer pending → this task will be *released by* whichever
+///   worker runs that producer — the completion path already places it
+///   there, so the parameter casts no vote (a stale hint would fight
+///   the releaser's better information).
+/// * no producer (settled initial data) → vote the cached hint, if any.
+fn vote_last_writer<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<T>) {
+    let hint = match &st.current.producer {
+        Some(p) if p.is_finished_relaxed() => {
+            let w = p.ran_on();
+            st.last_writer = w;
+            w
+        }
+        Some(_) => return,
+        None => st.last_writer,
+    };
+    sp.vote(hint, 1);
+}
+
 /// Analyse an `input` parameter.
 pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBinding<T> {
     let mut st = h.obj.state.lock();
     if !sp.renaming() {
         st.readers_list.push(Arc::clone(sp.node()));
+    }
+    if sp.locality() {
+        vote_last_writer(sp, &mut st);
     }
     // The producer edge is linked in place, borrowing the producer from
     // the (single-owner, cost-free) state cell — the per-parameter
@@ -79,6 +108,13 @@ pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
         let mut pooled_rename = None;
         let binding = {
             let mut st = h.obj.state.lock();
+            if sp.locality() {
+                // An output parameter reads nothing, but the buffer's
+                // cache lines live where it was last written — the
+                // write wants them exclusive there, so the last writer
+                // still gets this parameter's vote.
+                vote_last_writer(sp, &mut st);
+            }
             if quiescent(&st.current) {
                 st.current.producer = Some(Arc::clone(sp.node()));
                 WriteBinding::new(Arc::clone(&st.current.buf), None)
@@ -97,6 +133,9 @@ pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
         binding
     } else {
         let mut st = h.obj.state.lock();
+        if sp.locality() {
+            vote_last_writer(sp, &mut st);
+        }
         let self_alias = link_hazards(sp, &mut st);
         if self_alias {
             // This task also *reads* the object (same pointer passed as
@@ -123,6 +162,11 @@ pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
         let pool = sp.version_pooling();
         let mut pooled_rename = None;
         let mut st = h.obj.state.lock();
+        if sp.locality() {
+            // The read half of an `inout` wants the bytes the last
+            // writer produced, exactly like `input`.
+            vote_last_writer(sp, &mut st);
+        }
         // Linked in place, as in `read`: the borrow ends before the
         // version switch below rewrites `current`.
         if let Some(p) = &st.current.producer {
@@ -149,6 +193,9 @@ pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
         binding
     } else {
         let mut st = h.obj.state.lock();
+        if sp.locality() {
+            vote_last_writer(sp, &mut st);
+        }
         if let Some(p) = &st.current.producer {
             sp.link(p, EdgeKind::True);
         }
@@ -238,8 +285,17 @@ fn region_deps<T: RegionData>(
     // eagerly unless the structural recorder needs the history.
     let prune = !sp.record_graph();
     let me = sp.node().id();
+    let want_hint = sp.locality();
     let mut log = h.obj.log.lock();
-    log.record(region, write, me, sp.node(), prune, &mut |n, kind| {
+    let hint = log.record(region, write, me, sp.node(), prune, want_hint, &mut |n, kind| {
         sp.link(n, kind)
     });
+    drop(log);
+    if let Some(w) = hint {
+        // Region votes weigh by region size (element count), so a
+        // band's bulk input outvotes its halo rows; unbounded regions
+        // weigh as "very large".
+        let weight = region.volume().map(|v| v.max(1) as u64).unwrap_or(1 << 32);
+        sp.vote(w, weight);
+    }
 }

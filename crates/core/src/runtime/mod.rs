@@ -21,7 +21,7 @@ use crate::graph::record::GraphRecord;
 use crate::ids::{ObjectId, TaskId};
 use crate::padded::CachePadded;
 use crate::sched::queues::{Job, SleepCtl};
-use crate::sched::worker::{find_task, run_task, worker_loop, WorkerCtx};
+use crate::sched::worker::{enqueue_ready, find_task, run_task, worker_loop, WorkerCtx};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::trace::{EventKind, Trace, TraceCollector};
 
@@ -48,6 +48,31 @@ pub struct Shared {
     /// The main ready list (FIFO): "a point of distribution of tasks in
     /// areas of the graph that are not being explored".
     pub(crate) main_q: Injector<Job>,
+    /// Per-worker **affinity mailboxes** (one per thread, index 0 =
+    /// main): the locality-aware placement's extension of the own
+    /// lists. A Chase–Lev deque only admits owner pushes, so a ready
+    /// task whose `last_writer` hints prefer a *different* worker is
+    /// published to that worker's mailbox instead; the owner drains its
+    /// mailbox right after its own list (batched claim, counted as
+    /// own-list pops), and thieves raid other workers' mailboxes only
+    /// as a last resort — after **every** victim deque came up empty —
+    /// so mailbox work is never stranded but locality-neutral stealable
+    /// work always goes first. Built for every runtime but only pushed
+    /// to when [`locality_routing`] is set.
+    ///
+    /// [`locality_routing`]: Shared::locality_routing
+    pub(crate) mailboxes: Box<[Injector<Job>]>,
+    /// Locality placement is live: `cfg.locality`, SMPSs policy, and
+    /// more than one thread (hints are meaningless to a single
+    /// consumer). Derived once at build.
+    pub(crate) locality_routing: bool,
+    /// The spawner may park born-ready **self-affine** tasks in its
+    /// private hand-off window ([`WorkerCtx::stash`]): requires locality
+    /// routing plus a configured §III blocking condition — the throttle
+    /// is what guarantees the spawner regularly becomes a worker and
+    /// drains the window, so a stashed task can never wait longer than
+    /// one throttle oscillation.
+    pub(crate) self_stash: bool,
     /// Single central queue for [`SchedulerPolicy::CentralQueue`](crate::config::SchedulerPolicy).
     pub(crate) central: Injector<Job>,
     /// FIFO-stealing ends of every thread's own list (index 0 = main).
@@ -88,6 +113,11 @@ impl Shared {
     /// finished shard and one stealer per thread).
     fn build(cfg: RuntimeConfig, stealers: Vec<Stealer<Job>>) -> Shared {
         let n = cfg.threads;
+        let locality_routing = cfg.locality
+            && n > 1
+            && cfg.policy == crate::config::SchedulerPolicy::Smpss;
+        let self_stash = locality_routing
+            && (cfg.graph_size_limit.is_some() || cfg.memory_limit.is_some());
         Shared {
             graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
             tracer: cfg.tracing.then(|| TraceCollector::new(n)),
@@ -96,6 +126,9 @@ impl Shared {
             hp: Injector::new(),
             hp_used: CachePadded::new(AtomicBool::new(false)),
             main_q: Injector::new(),
+            mailboxes: (0..n).map(|_| Injector::new()).collect(),
+            locality_routing,
+            self_stash,
             central: Injector::new(),
             stealers,
             finished: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
@@ -278,6 +311,14 @@ pub struct Runtime {
     /// Monotonic-safe: the bound only lags, so `spawned - bound` only
     /// overestimates liveness — the throttle can never under-block.
     finished_seen: Cell<u64>,
+    /// Did the most recent [`throttle`](Self::throttle) call actually
+    /// block (and therefore help)? The self-hand-off stash is only fed
+    /// while this holds: a *configured but never-binding* limit must
+    /// not strand born-ready work in the private window — when the
+    /// throttle is not oscillating, self-affine tasks go to the
+    /// (thief-reachable) mailbox instead, and the stash depth stays
+    /// O(1) because every submit that stashes also triggers a help.
+    throttle_engaged: Cell<bool>,
     /// Spawner-side cache of recycled task nodes, refilled from
     /// [`Shared::free_nodes`]. `RefCell` keeps `Runtime: !Sync`, which
     /// is load-bearing: only the single spawning thread touches it.
@@ -319,6 +360,7 @@ impl Runtime {
             shared,
             main_ctx: RefCell::new(WorkerCtx::new(main_local)),
             finished_seen: Cell::new(0),
+            throttle_engaged: Cell::new(false),
             node_cache: RefCell::new(Vec::new()),
             link_cache: RefCell::new(Vec::new()),
             joins,
@@ -533,6 +575,10 @@ impl Runtime {
             }
         }
         self.finished_seen.set(seen);
+        // The graph just drained: whatever throttling phase preceded
+        // this barrier is over, so the next born-ready task must not be
+        // stashed on a stale "spawner is regularly helping" signal.
+        self.throttle_engaged.set(false);
         self.shared.trace_event(0, EventKind::BarrierEnd);
     }
 
@@ -680,23 +726,45 @@ impl Runtime {
     /// next call's lookup, still bypassing every queue.
     pub(crate) fn help_once(&self) -> bool {
         let mut ctx = self.main_ctx.borrow_mut();
-        // High-priority work preempts the deferred hand-off, exactly as
-        // it preempts the worker loop's hand-off chain.
-        if ctx.pending.is_some()
-            && self.shared.hp_used.load(Ordering::Relaxed)
-            && !self.shared.hp.is_empty()
-        {
-            let job = ctx.pending.take().expect("checked above");
-            ctx.local.push(job);
+        // High-priority work preempts every private fast path, exactly
+        // as it preempts the worker loop's hand-off chain: the deferred
+        // hand-off is demoted to the own list and the stash shortcut is
+        // skipped, so the lookup below serves the HP list first ("as
+        // soon as possible independently of any locality
+        // consideration"; `find_task` still reaches the stash right
+        // after).
+        let hp_live =
+            self.shared.hp_used.load(Ordering::Relaxed) && !self.shared.hp.is_empty();
+        if hp_live {
+            if let Some(job) = ctx.pending.take() {
+                ctx.local.push(job);
+            }
         }
-        let found = if let Some(job) = ctx.pending.take() {
+        // Both private slots hold never-published (owned) work; the own
+        // list is LIFO, so the *most recently readied* task runs first —
+        // a task stashed by the submit that triggered this help beats
+        // the hand-off parked by an earlier completion. Running the
+        // just-spawned reader before the spawner analyses the next
+        // writer is also what lets that writer reuse the version in
+        // place instead of renaming (see `WorkerCtx::stash`).
+        // (A stalled hand-off cannot starve: once the live count exceeds
+        // the throttle limit by more than the stash refill rate, the
+        // extra helps drain the stash and reach `pending`.)
+        let stashed = if self.shared.locality_routing && !hp_live {
+            ctx.stash.pop_back()
+        } else {
+            None
+        };
+        let found = if let Some(job) = stashed {
+            Some((job, crate::sched::TaskSource::OwnList, true))
+        } else if let Some(job) = ctx.pending.take() {
             // The deferred hand-off: never published, statically ours.
             // Counted here — at consumption — so a hand-off demoted to
             // an own-list push by HP preemption is not misreported.
             self.shared.stats.handoffs(0);
             Some((job, crate::sched::TaskSource::OwnList, true))
         } else {
-            find_task(&self.shared, &mut ctx, 0).map(|(j, s)| (j, s, false))
+            find_task(&self.shared, &mut ctx, 0)
         };
         if let Some((job, src, owned)) = found {
             let (done, handoff) = run_task(&self.shared, &mut ctx, 0, job, src, true, owned);
@@ -717,31 +785,79 @@ impl Runtime {
         }
     }
 
-    /// Re-publish the helper's deferred hand-off onto the (stealable)
-    /// own list. Called when a helping loop exits: its caller may not
-    /// help again for a long time, and a task parked in `pending` is
-    /// invisible to thieves — without this, a ready task could serialize
-    /// behind the spawner's next blocking condition.
+    /// Re-publish the helper's deferred hand-off — and any leftover
+    /// self-hand-off stash or claimed-but-unrun mailbox batch — onto
+    /// the (stealable) own list. Called when a helping loop exits: its
+    /// caller may not help again for a long time, and tasks parked in
+    /// `pending`/`stash`/`hinted` are invisible to thieves — without
+    /// this, a ready task could serialize behind the spawner's next
+    /// blocking condition.
     fn finish_helping(&self) {
+        // A helping loop just ended; until the next `throttle` call
+        // re-evaluates the blocking conditions, assume the spawner is
+        // *not* regularly helping (the stash gate errs toward
+        // publishing). The throttle's own exit path overwrites this
+        // right after, so steady-state oscillation keeps stashing.
+        self.throttle_engaged.set(false);
         if self.shared.cfg.threads == 1 {
-            // No thieves exist: the pending slot cannot starve anyone,
-            // and the next helping call consumes it queue-free.
+            // No thieves exist: the private slots cannot starve anyone,
+            // and the next helping call consumes them queue-free.
             return;
         }
         let mut ctx = self.main_ctx.borrow_mut();
+        let was_empty = ctx.local.is_empty();
+        let mut pushed = false;
         if let Some(job) = ctx.pending.take() {
-            let was_empty = ctx.local.is_empty();
             ctx.local.push(job);
-            if was_empty {
-                self.shared.sleep.notify_one();
+            pushed = true;
+        }
+        while let Some(job) = ctx.stash.pop_front() {
+            ctx.local.push(job);
+            pushed = true;
+        }
+        while let Some(job) = ctx.hinted.pop_front() {
+            ctx.local.push(job);
+            pushed = true;
+        }
+        if pushed && was_empty {
+            self.shared.sleep.notify_one();
+        }
+    }
+
+    /// Publish a task that is ready at submit time. The general case is
+    /// [`enqueue_ready`] (main list, or the preferred worker's mailbox
+    /// when a hint is live); the special case is **self-affinity**: the
+    /// ballot elected the spawning thread itself, and a blocking
+    /// condition guarantees this thread will act as a worker shortly —
+    /// then the task is parked in the private hand-off window and never
+    /// published at all (zero queue atomics, `take_body_owned` on
+    /// consumption), exactly like a completion's direct hand-off.
+    #[inline]
+    pub(crate) fn publish_born_ready(&self, job: crate::sched::Job) {
+        let shared = &*self.shared;
+        // High-priority tasks are "scheduled as soon as possible
+        // independently of any locality consideration": never stashed —
+        // `enqueue_ready` routes them to the global HP list.
+        if shared.self_stash
+            && self.throttle_engaged.get()
+            && job.priority() == Priority::Normal
+            && job.pref_worker() == Some(0)
+        {
+            let mut ctx = self.main_ctx.borrow_mut();
+            if ctx.stash.len() < crate::sched::worker::STASH_MAX {
+                shared.stats.locality_hits(0);
+                ctx.stash.push_back(job);
+                return;
             }
         }
+        enqueue_ready(shared, None, job);
     }
 
     /// Block the spawning path while a §III blocking condition holds
     /// (graph-size limit or memory limit), helping run tasks meanwhile.
     #[inline]
     pub(crate) fn throttle(&self) {
+        let mut engaged = false;
         if let Some(limit) = self.shared.cfg.graph_size_limit {
             // Fast path on the cached finished lower bound: if even the
             // overestimate `spawned - seen` fits the limit, actual
@@ -753,6 +869,7 @@ impl Runtime {
                 self.finished_seen.set(seen);
             }
             if spawned.saturating_sub(seen) as usize > limit {
+                engaged = true;
                 self.shared.stats.throttle_blocks();
                 self.shared.trace_event(0, EventKind::BarrierBegin);
                 // Same cached-lag drain as `barrier`: helping advances
@@ -775,6 +892,7 @@ impl Runtime {
         }
         if let Some(limit) = self.shared.cfg.memory_limit {
             if self.shared.live_bytes.load(Ordering::Acquire) > limit {
+                engaged = true;
                 self.shared.stats.throttle_blocks();
                 self.shared.trace_event(0, EventKind::BarrierBegin);
                 // Versions retire when tasks finish and their bindings
@@ -792,6 +910,10 @@ impl Runtime {
                 self.shared.trace_event(0, EventKind::BarrierEnd);
             }
         }
+        // Feed the self-hand-off gate: the stash is only a good home
+        // for born-ready self-affine work while the throttle is
+        // actively turning the spawner into a worker.
+        self.throttle_engaged.set(engaged);
     }
 }
 

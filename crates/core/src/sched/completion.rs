@@ -100,7 +100,7 @@ pub(crate) fn finish_task(
     let mut handoff = None;
     if shared.cfg.lockfree_release {
         if !ready.is_empty() {
-            wake = publish_batch(shared, local, ready, allow_handoff, &mut handoff);
+            wake = publish_batch(shared, local, idx, ready, allow_handoff, &mut handoff);
         }
     } else {
         // Ablation path (BENCH_0003 behaviour): one enqueue and one
@@ -153,27 +153,42 @@ pub(crate) fn finish_task(
 /// Publish one completion's released successors as a batch. Successors
 /// arrive in registration order (the order `complete` releases and the
 /// policy tests pin). High-priority successors go to the global HP list
-/// as always. Under the SMPSs policy the *last* normal successor is
+/// as always ("independently of any locality consideration"). Under the
+/// SMPSs policy with locality placement live, a successor whose
+/// `last_writer` hints elected a **different** worker is published to
+/// that worker's affinity mailbox (its inputs are hot in that worker's
+/// cache, not ours); of the successors that stay here, the *last* one is
 /// returned as the hand-off when allowed — exactly the task the own
 /// list's LIFO pop would have produced next — and the rest are pushed
-/// to the completing worker's own list; the central-queue policy pushes
+/// to the completing worker's own list. The central-queue policy pushes
 /// everything to the central FIFO. One wake decision covers the batch:
-/// `One` for surplus work or an empty-transition (the woken thief
-/// propagates further wakes on demand), `All` only when several
-/// high-priority tasks appear at once.
+/// `One` for surplus work, an empty-transition, or a hint-routed task
+/// landing in an empty mailbox (the woken thief propagates further
+/// wakes on demand), `All` only when several high-priority tasks appear
+/// at once.
 fn publish_batch(
     shared: &Shared,
     local: &Worker<Job>,
+    idx: usize,
     ready: &mut Vec<Job>,
     allow_handoff: bool,
     handoff: &mut Option<Job>,
 ) -> Wake {
     let central = shared.cfg.policy == SchedulerPolicy::CentralQueue;
-    let normal_count = ready
+    let route = shared.locality_routing && !central;
+    // A successor leaves for another worker's mailbox when its hint is
+    // live and names someone else; everything else stays local.
+    let remote_of = |s: &Job| -> Option<usize> {
+        if !route {
+            return None;
+        }
+        s.pref_worker().filter(|&p| p != idx && p < shared.cfg.threads)
+    };
+    let local_normals = ready
         .iter()
-        .filter(|s| s.priority() == Priority::Normal)
+        .filter(|s| s.priority() == Priority::Normal && remote_of(s).is_none())
         .count();
-    let take_handoff = allow_handoff && !central && normal_count > 0;
+    let take_handoff = allow_handoff && !central && local_normals > 0;
     let was_empty = if central {
         shared.central.is_empty()
     } else {
@@ -181,15 +196,24 @@ fn publish_batch(
     };
     let mut hp_pushed = 0usize;
     let mut pushed = 0usize;
-    let mut normals_seen = 0usize;
+    let mut locals_seen = 0usize;
+    let mut remote_wakes = 0usize;
     for s in ready.drain(..) {
         if s.priority() == Priority::High {
             shared.hp_used.store(true, Ordering::Relaxed);
             shared.hp.push(s);
             hp_pushed += 1;
+        } else if let Some(p) = remote_of(&s) {
+            shared.stats.locality_hits(idx);
+            let mb = &shared.mailboxes[p];
+            // Same empty-transition wake discipline as the own list: a
+            // non-empty mailbox already triggered a wake whose
+            // propagation (or the owner's own drain) covers this task.
+            remote_wakes += mb.is_empty() as usize;
+            mb.push(s);
         } else {
-            normals_seen += 1;
-            if take_handoff && normals_seen == normal_count {
+            locals_seen += 1;
+            if take_handoff && locals_seen == local_normals {
                 *handoff = Some(s);
             } else if central {
                 shared.central.push(s);
@@ -200,9 +224,14 @@ fn publish_batch(
             }
         }
     }
-    if hp_pushed > 1 {
+    // Several *distinct* empty mailboxes means several distinct
+    // preferred workers should come — and mailbox steals deliberately
+    // do not propagate wakes, so a single woken thief would drain them
+    // serially: wake everyone, and each parked worker finds its own
+    // hinted work first thing after its own list.
+    if hp_pushed > 1 || remote_wakes > 1 {
         Wake::All
-    } else if hp_pushed == 1 || pushed > 1 || (pushed == 1 && was_empty) {
+    } else if hp_pushed == 1 || remote_wakes == 1 || pushed > 1 || (pushed == 1 && was_empty) {
         Wake::One
     } else {
         Wake::None
@@ -313,6 +342,62 @@ mod tests {
         assert!(handoff.is_none());
         assert_eq!(wake, Wake::One, "empty-transition push wakes one");
         assert_eq!(local.pop().unwrap().id(), TaskId(2));
+    }
+
+    /// Locality placement: a released successor whose hint names a
+    /// *different* worker leaves for that worker's affinity mailbox;
+    /// hint-less (and own-hinted) successors keep the hand-off/own-list
+    /// behaviour, and the hand-off is elected among the ones that stay.
+    #[test]
+    fn hinted_successor_routes_to_the_preferred_mailbox() {
+        let shared = shared(4); // locality_routing is on by default
+        assert!(shared.locality_routing);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succs: Vec<Job> = (2..5).map(ready_node).collect();
+        succs[0].set_pref_worker(3); // inputs last written by worker 3
+        succs[1].set_pref_worker(0); // our own hint: stays local
+        for s in &succs {
+            assert!(producer.add_successor(s));
+            s.retain_dep();
+            assert!(!s.release_dep());
+        }
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        // Successor 2 left for mailbox 3; of the local pair {3, 4}, the
+        // last (4) is the hand-off and 3 sits on the own list.
+        assert_eq!(handoff.expect("local successors hand off").id(), TaskId(4));
+        assert_eq!(wake, Wake::One, "an empty mailbox transition wakes a thief");
+        assert_eq!(local.pop().unwrap().id(), TaskId(3));
+        assert!(local.pop().is_none());
+        let routed = crate::sched::queues::pop_injector(&shared.mailboxes[3]).unwrap();
+        assert_eq!(routed.id(), TaskId(2));
+        assert!(shared.mailboxes[0].is_empty(), "own hint is not a route");
+        assert_eq!(shared.stats.snapshot().locality_hits, 1);
+    }
+
+    /// With the builder switch off, hints are stamped nowhere and the
+    /// batch keeps the BENCH_0004 shape: everything stays local.
+    #[test]
+    fn locality_off_never_routes() {
+        let shared = Shared::for_tests(
+            crate::RuntimeBuilder::default().threads(4).locality(false).config(),
+        );
+        assert!(!shared.locality_routing);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succ = ready_node(2);
+        succ.set_pref_worker(3); // even a stamped hint is ignored
+        assert!(producer.add_successor(&succ));
+        succ.retain_dep();
+        assert!(!succ.release_dep());
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, _) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        assert_eq!(handoff.unwrap().id(), TaskId(2));
+        assert!(shared.mailboxes[3].is_empty());
+        assert_eq!(shared.stats.snapshot().locality_hits, 0);
     }
 
     /// The legacy ablation path keeps the BENCH_0003 shape: per-successor

@@ -23,6 +23,16 @@ pub(crate) struct PopShard {
     /// completing worker ran the released successor immediately, with no
     /// queue round-trip (a subset of `own_pops`, not a fifth source).
     handoffs: AtomicU64,
+    /// Ready tasks this thread *placed by their `last_writer` hints*:
+    /// routed to a preferred worker's affinity mailbox, or (spawner
+    /// only) parked in the self-hand-off window (the locality-aware
+    /// placement of BENCH_0005). Not a pop source: the placed task is
+    /// later popped by its target (counted `own_pops`) or stolen.
+    locality_hits: AtomicU64,
+    /// Deque steals that claimed more than one task in a single
+    /// steal-half traversal (the extra tasks land in the thief's own
+    /// list and surface later as `own_pops`).
+    batch_steals: AtomicU64,
 }
 
 impl PopShard {
@@ -143,6 +153,16 @@ impl Stats {
         PopShard::bump(&self.shards[idx].handoffs);
     }
 
+    #[inline]
+    pub(crate) fn locality_hits(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].locality_hits);
+    }
+
+    #[inline]
+    pub(crate) fn batch_steals(&self, idx: usize) {
+        PopShard::bump(&self.shards[idx].batch_steals);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let sum = |f: fn(&PopShard) -> &AtomicU64| self.shards.iter().map(|s| ld(f(s))).sum();
@@ -151,6 +171,8 @@ impl Stats {
         let hp_pops: u64 = sum(|s| &s.hp_pops);
         let steals: u64 = sum(|s| &s.steals);
         let handoffs: u64 = sum(|s| &s.handoffs);
+        let locality_hits: u64 = sum(|s| &s.locality_hits);
+        let batch_steals: u64 = sum(|s| &s.batch_steals);
         StatsSnapshot {
             tasks_spawned: ld(&self.tasks_spawned),
             tasks_executed: own_pops + main_pops + hp_pops + steals,
@@ -165,6 +187,8 @@ impl Stats {
             hp_pops,
             steals,
             handoffs,
+            locality_hits,
+            batch_steals,
             barriers: ld(&self.barriers),
             throttle_blocks: ld(&self.throttle_blocks),
         }
@@ -197,6 +221,19 @@ pub struct StatsSnapshot {
     /// path): the released successor ran next on the completing worker
     /// without touching any queue. Subset of `own_pops`.
     pub handoffs: u64,
+    /// Ready tasks *placed by their `last_writer` hints* instead of the
+    /// main list: routed to a preferred worker's affinity mailbox, or
+    /// parked in the spawner's self-hand-off window when the hints
+    /// elected the spawning thread itself (the two mechanisms of
+    /// locality-aware placement — this counts placement decisions, not
+    /// mailbox traffic). Zero when
+    /// [`RuntimeBuilder::locality(false)`](crate::RuntimeBuilder::locality),
+    /// under the central-queue policy, or at one thread.
+    pub locality_hits: u64,
+    /// Steal-half traversals that moved more than one task (the batch's
+    /// surplus lands in the thief's own list instead of costing one
+    /// fenced steal each).
+    pub batch_steals: u64,
     pub barriers: u64,
     pub throttle_blocks: u64,
 }
