@@ -78,7 +78,8 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(1)
         .max(1);
-    let results = if args.iter().any(|a| a == "--in-process") {
+    let in_process = args.iter().any(|a| a == "--in-process");
+    let results = if in_process {
         perf::run_suite(quick)
     } else {
         match run_isolated(quick, best_of) {
@@ -98,10 +99,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let doc = perf::suite_json(&results, quick);
+    let doc = perf::suite_json(&results, quick, !in_process);
     if let Err(e) = perf::validate(&doc) {
-        eprintln!("perfsuite: emitted document failed self-validation: {}", e);
-        return ExitCode::FAILURE;
+        if in_process {
+            // An in-process run is a diagnostic convenience, not a
+            // trajectory point: its document deliberately fails the
+            // isolation gate so it can never be committed as
+            // BENCH_NNNN.json. Still write it for local inspection.
+            eprintln!(
+                "perfsuite: warning: {} — this file will NOT pass --check",
+                e
+            );
+        } else {
+            eprintln!("perfsuite: emitted document failed self-validation: {}", e);
+            return ExitCode::FAILURE;
+        }
     }
     if let Err(e) = std::fs::write(&out, doc.render()) {
         eprintln!("perfsuite: cannot write {}: {}", out, e);

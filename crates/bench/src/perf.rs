@@ -38,7 +38,7 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0005";
+pub const BENCH_ID: &str = "BENCH_0006";
 
 /// Locality placement for the suite's runtimes. Every workload builds
 /// its runtime through [`suite_builder`], so setting
@@ -58,6 +58,19 @@ fn perf_locality() -> bool {
 /// env-selected locality switch; see [`perf_locality`]).
 fn suite_builder(threads: usize) -> RuntimeBuilder {
     Runtime::builder().threads(threads).locality(perf_locality())
+}
+
+/// Sharded analysis for `submit_storm`. `SMPSS_PERF_SHARDS=off` selects
+/// the **funnel** baseline: the same producer threads, but a
+/// single-spawner runtime, so every submission ships its closure over a
+/// channel to the one thread allowed to analyse — the only
+/// multi-producer topology the pre-BENCH_0006 runtime admits. The frozen
+/// `submit_storm` baseline row was captured this way; the default
+/// (sharded) mode analyses in place on each producer through a
+/// [`Submitter`](smpss::Submitter) lane. Cached like [`perf_locality`].
+fn perf_shards() -> bool {
+    static SHARDS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SHARDS.get_or_init(|| std::env::var("SMPSS_PERF_SHARDS").map_or(true, |v| v != "off"))
 }
 
 /// Schema tag checked by `perfsuite --check`.
@@ -827,6 +840,152 @@ pub fn locality_storm_cfg(
     }
 }
 
+/// Multi-submitter storm (BENCH_0006): `LANES` producer threads each
+/// submit an equal share of tasks, and the clock covers the
+/// **submission (analysis) phase only** — the quantity the single-lane
+/// ceiling is about. Each producer's tasks read a per-producer gate
+/// object whose writer (a "hold" task) parks until the clock stops, so
+/// during the measured span no body runs and the CPU belongs entirely
+/// to the spawn path; release and drain happen outside the clock.
+///
+/// In the default sharded mode every producer owns a
+/// [`Submitter`](smpss::Submitter) lane and runs dependency analysis
+/// **in place**; in the funnel baseline (`SMPSS_PERF_SHARDS=off`, how
+/// the frozen row was captured) the same producers must ship each
+/// submission — a boxed closure — over a bounded channel to the single
+/// thread allowed to analyse, the only multi-producer topology the
+/// pre-sharding runtime admits. The gap is mechanical, not parallel
+/// analysis: on the 1-CPU CI host both modes spend the same analysis
+/// cycles, but every funnelled task additionally pays the box, the
+/// hop, and the single consumer's serial drain, which in-place
+/// per-lane analysis simply does not perform.
+#[inline(never)]
+pub fn submit_storm(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    submit_storm_cfg(threads, tasks, reps, perf_shards())
+}
+
+/// [`submit_storm`] with the shard switch explicit (the `shard_ablation`
+/// study runs the same shape both ways).
+pub fn submit_storm_cfg(
+    threads: usize,
+    tasks: u64,
+    reps: usize,
+    sharded: bool,
+) -> WorkloadResult {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const LANES: usize = 4;
+    let per_lane = tasks / LANES as u64;
+
+    // The hold body: claims the gate object, then sleeps (parked, not
+    // spinning — a spinning worker would steal the 1-CPU host from the
+    // submitters) until the submission clock has stopped.
+    fn hold(release: &AtomicBool) {
+        while !release.load(Ordering::Acquire) {
+            std::thread::park_timeout(std::time::Duration::from_micros(200));
+        }
+    }
+
+    let (secs, executed, counters) = best_of(reps, || {
+        if sharded {
+            let rt = suite_builder(threads).shards(LANES).build();
+            let gates: Vec<_> = (0..LANES).map(|_| rt.data(0u64)).collect();
+            let release = Arc::new(AtomicBool::new(false));
+            let submitters = rt.submitters();
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for (sub, gate) in submitters.into_iter().zip(&gates) {
+                    let release = Arc::clone(&release);
+                    s.spawn(move || {
+                        let mut sp = sub.task("hold");
+                        let mut w = sp.write(gate);
+                        sp.submit(move || {
+                            *w.get_mut() = 1;
+                            hold(&release);
+                        });
+                        for i in 0..per_lane {
+                            let mut sp = sub.task("submit");
+                            let mut r = sp.read(gate);
+                            sp.submit(move || {
+                                std::hint::black_box(*r.get());
+                                std::hint::black_box(i);
+                            });
+                        }
+                    });
+                }
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            release.store(true, Ordering::Release);
+            rt.barrier();
+            let st = rt.stats();
+            (secs, st.tasks_executed, st)
+        } else {
+            let rt = suite_builder(threads).build();
+            let gates: Vec<_> = (0..LANES).map(|_| rt.data(0u64)).collect();
+            let release = Arc::new(AtomicBool::new(false));
+            // A funnelled submission ships its closure's environment and
+            // names its accesses: (producer lane, boxed body). Bounded,
+            // like any real funnel — the hop's buffer cannot grow without
+            // limit (that is what the runtime's own in-flight throttle
+            // exists to prevent), so producers park when the single
+            // analyser falls behind and pay the wake on drain.
+            type Shipped = (usize, Box<dyn FnOnce() + Send>);
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Shipped>(256);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for lane in 0..LANES {
+                    let tx = tx.clone();
+                    s.spawn(move || {
+                        for i in 0..per_lane {
+                            tx.send((
+                                lane,
+                                Box::new(move || {
+                                    std::hint::black_box(i);
+                                }),
+                            ))
+                            .unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+                // The single spawner: claim the gates, then drain the
+                // funnel and analyse every shipped task here.
+                for gate in &gates {
+                    let release = Arc::clone(&release);
+                    let mut sp = rt.task("hold");
+                    let mut w = sp.write(gate);
+                    sp.submit(move || {
+                        *w.get_mut() = 1;
+                        hold(&release);
+                    });
+                }
+                for (lane, body) in rx.iter() {
+                    let mut sp = rt.task("submit");
+                    let mut r = sp.read(&gates[lane]);
+                    sp.submit(move || {
+                        std::hint::black_box(*r.get());
+                        body();
+                    });
+                }
+            });
+            let secs = t0.elapsed().as_secs_f64();
+            release.store(true, Ordering::Release);
+            rt.barrier();
+            let st = rt.stats();
+            (secs, st.tasks_executed, st)
+        }
+    });
+    WorkloadResult {
+        name: format!("submit_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
 /// Region stencil sweep (BENCH_0005): `steps` Jacobi waves over an
 /// `n x n` grid in horizontal bands (the §V.A wavefront). Each band of
 /// step `s+1` overlaps three writers of step `s`, so almost every task
@@ -881,6 +1040,7 @@ pub fn suite_plan(quick: bool) -> Vec<String> {
     plan.push("fanout_storm/t8".into());
     plan.push("chain_storm/t8".into());
     plan.push("locality_storm/t8".into());
+    plan.push("submit_storm/t8".into());
     if quick {
         plan.push("stencil_sweep/n34s20/t8".into());
         plan.push("cholesky_hyper/n6/t8".into());
@@ -932,6 +1092,10 @@ pub fn run_one(name: &str, quick: bool) -> Option<WorkloadResult> {
         "fanout_storm" => fanout_storm(8, storm_tasks, reps),
         "chain_storm" => chain_storm(8, storm_tasks, reps),
         "locality_storm" => locality_storm(8, storm_tasks, reps),
+        "submit_storm" => {
+            let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
+            submit_storm(t, storm_tasks, reps)
+        }
         "stencil_sweep" => {
             let spec = parts.next()?.strip_prefix('n')?;
             let (n, steps) = spec.split_once('s')?;
@@ -1064,8 +1228,13 @@ pub fn baseline_rate(name: &str) -> Option<f64> {
         .map(|(_, rate)| *rate)
 }
 
-/// Assemble the whole trajectory document.
-pub fn suite_json(results: &[WorkloadResult], quick: bool) -> JsonValue {
+/// Assemble the whole trajectory document. `isolated` records whether
+/// every workload ran in its own child process (the measurement-hygiene
+/// mode); from BENCH_0006 on, [`validate`] rejects documents that were
+/// not — an in-process run shares one heap layout across all workloads
+/// and biases the fine-grain storms, so it must never become a
+/// committed trajectory point.
+pub fn suite_json(results: &[WorkloadResult], quick: bool, isolated: bool) -> JsonValue {
     let created = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -1104,6 +1273,7 @@ pub fn suite_json(results: &[WorkloadResult], quick: bool) -> JsonValue {
         ("bench_id".into(), JsonValue::Str(BENCH_ID.into())),
         ("created_unix".into(), JsonValue::Num(created as f64)),
         ("quick".into(), JsonValue::Bool(quick)),
+        ("isolated".into(), JsonValue::Bool(isolated)),
         ("host".into(), host),
         ("workloads".into(), workloads),
         ("baseline".into(), baseline),
@@ -1127,6 +1297,17 @@ pub fn validate(doc: &JsonValue) -> Result<(), String> {
         .ok_or("missing \"bench_id\"")?;
     if !id.starts_with("BENCH_") || id.len() != 10 || !id[6..].bytes().all(|b| b.is_ascii_digit()) {
         return Err(format!("bench_id {:?} does not match BENCH_NNNN", id));
+    }
+    // From BENCH_0006 on, only process-isolated runs are committable:
+    // an in-process suite shares one heap layout across workloads and
+    // biases the fine-grain storms (string compare is sound — the id is
+    // fixed-width zero-padded). Earlier files are grandfathered.
+    if id >= "BENCH_0006" && doc.get("isolated") != Some(&JsonValue::Bool(true)) {
+        return Err(format!(
+            "{}: committed trajectories must come from process-isolated \
+             runs (\"isolated\": true); re-run perfsuite without --in-process",
+            id
+        ));
     }
     let host = doc.get("host").ok_or("missing \"host\"")?;
     if host.get("cpus").and_then(JsonValue::as_f64).unwrap_or(0.0) < 1.0 {
@@ -1237,17 +1418,49 @@ mod tests {
             task_storm(2, SchedulerPolicy::Smpss, 200, 1),
             task_chain(1, 100, 1),
         ];
-        let doc = suite_json(&results, true);
+        let doc = suite_json(&results, true, true);
         validate(&doc).unwrap();
         let text = doc.render();
         let back = JsonValue::parse(&text).unwrap();
         validate(&back).unwrap();
     }
 
+    /// The BENCH_0006 measurement-bias guard: an in-process run
+    /// (`isolated: false` — or a file predating the field) must never
+    /// validate as a committable trajectory point.
+    #[test]
+    fn validate_rejects_unisolated_documents() {
+        let results = vec![task_chain(1, 50, 1)];
+        let doc = suite_json(&results, true, false);
+        let err = validate(&doc).unwrap_err();
+        assert!(err.contains("process-isolated"), "got: {}", err);
+        // A document missing the field entirely (hand-rolled) fails too.
+        let mut doc = suite_json(&results, true, true);
+        if let JsonValue::Obj(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "isolated");
+        }
+        assert!(validate(&doc).is_err());
+    }
+
+    /// Funnel and sharded submit storms execute every task exactly once
+    /// and agree on the task count — the shape the BENCH_0006 gate
+    /// compares must be identical in everything but the submission path.
+    /// (400 storm tasks + the 4 per-producer hold tasks that pin bodies
+    /// outside the measured submission span.)
+    #[test]
+    fn submit_storm_modes_agree_on_structure() {
+        let sharded = submit_storm_cfg(2, 400, 1, true);
+        let funnel = submit_storm_cfg(2, 400, 1, false);
+        assert_eq!(sharded.tasks, 404);
+        assert_eq!(funnel.tasks, 404);
+        assert_eq!(sharded.counters.total_pops(), 404);
+        assert_eq!(funnel.counters.total_pops(), 404);
+    }
+
     #[test]
     fn validate_rejects_broken_documents() {
         let results = vec![task_chain(1, 50, 1)];
-        let mut doc = suite_json(&results, true);
+        let mut doc = suite_json(&results, true, true);
         if let JsonValue::Obj(fields) = &mut doc {
             for (k, v) in fields.iter_mut() {
                 if k == "schema" {

@@ -37,6 +37,7 @@ pub struct RuntimeConfig {
     pub(crate) indexed_regions: bool,
     pub(crate) lockfree_release: bool,
     pub(crate) locality: bool,
+    pub(crate) shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -56,6 +57,7 @@ impl Default for RuntimeConfig {
             indexed_regions: true,
             lockfree_release: true,
             locality: true,
+            shards: 1,
         }
     }
 }
@@ -190,6 +192,23 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Number of dependency-analysis lanes (default 1 — the paper's
+    /// single-spawner model, bit-for-bit). With `n >= 2` the runtime
+    /// hands out [`Submitter`](crate::Submitter)s
+    /// ([`Runtime::submitters`](crate::Runtime::submitters)) so multiple
+    /// threads can run dependency analysis concurrently: objects are
+    /// hashed onto lanes, each lane's `SpawnerCell` universe is entered
+    /// under that lane's gate, task-node pools are per lane, and
+    /// cross-lane edges settle through the lock-free successor
+    /// machinery. `shards(1)` preserves today's single-spawner path
+    /// exactly (no gates, no RMWs on the spawn counters) and is the
+    /// `shard_ablation` baseline.
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a runtime needs at least one analysis lane");
+        self.cfg.shards = n;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
@@ -219,6 +238,7 @@ mod tests {
         assert!(c.indexed_regions);
         assert!(c.lockfree_release);
         assert!(c.locality);
+        assert_eq!(c.shards, 1);
     }
 
     #[test]
@@ -256,8 +276,20 @@ mod tests {
     }
 
     #[test]
+    fn builder_sets_shards() {
+        let c = RuntimeBuilder::default().shards(4).config();
+        assert_eq!(c.shards, 4);
+    }
+
+    #[test]
     #[should_panic(expected = "at least the main thread")]
     fn zero_threads_rejected() {
         let _ = RuntimeBuilder::default().threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one analysis lane")]
+    fn zero_shards_rejected() {
+        let _ = RuntimeBuilder::default().shards(0);
     }
 }

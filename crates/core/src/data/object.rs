@@ -29,12 +29,22 @@ use crate::ids::ObjectId;
 /// via the flag below) while costing two unfenced atomic ops.
 ///
 /// # Safety invariant
-/// All access goes through the spawning thread. This is a structural
-/// property of the crate — `Runtime` is `!Sync` (compile-fail doctest),
-/// task bodies receive bindings, never handles, and no worker-side code
-/// path names `DataObject::state` — and the swap-based flag converts a
-/// future violation into a deterministic panic rather than a silent
-/// race in any build profile, exactly like `VBuf`'s validation windows.
+/// All access is **mutually exclusive per object**. In the default
+/// single-spawner mode this is structural — `Runtime` is `!Sync`
+/// (compile-fail doctest), task bodies receive bindings, never handles,
+/// and no worker-side code path names `DataObject::state` — so only the
+/// one spawning thread ever enters. With sharded analysis
+/// ([`RuntimeBuilder::shards`](crate::RuntimeBuilder::shards) ≥ 2),
+/// multiple submitter threads analyse concurrently, but every entry to
+/// an object's cell happens under the owning *lane gate*
+/// (`runtime::shard`): the lane is chosen by hashing the object id (or
+/// a region's representant id), so two threads can never hold the same
+/// object's state at once — they exclude each other on the gate before
+/// the cell is touched, and the gate's Acquire/Release pair carries the
+/// state written by the previous holder. Either way the swap-based flag
+/// converts a future violation into a deterministic panic rather than a
+/// silent race in any build profile, exactly like `VBuf`'s validation
+/// windows.
 pub(crate) struct SpawnerCell<S> {
     cell: UnsafeCell<S>,
     /// Occupancy tripwire (not a lock: no spinning, no parking).
@@ -65,7 +75,7 @@ impl<S> SpawnerCell<S> {
         assert!(
             !self.busy.load(Ordering::Relaxed),
             "SMPSs invariant violated: concurrent object-state access \
-             (spawning is single-threaded)"
+             (analysis is single-threaded, or lane-gated when sharded)"
         );
         self.busy.store(true, Ordering::Relaxed);
         SpawnerGuard { owner: self }

@@ -27,6 +27,15 @@
 //! as the ablation baseline and as the oracle for the equivalence tests
 //! below: both logs must emit **exactly** the same edge sequence for any
 //! access sequence.
+//!
+//! **Sharded analysis:** a buffer's log belongs to the lane that owns
+//! the buffer's *representant* id (`runtime::shard::lane_of`). Under
+//! [`RuntimeBuilder::shards`](crate::RuntimeBuilder::shards) ≥ 2,
+//! `dep::region_deps` enters that lane's gate before touching the log,
+//! so all edge analysis over one buffer stays serialised — the
+//! log-insertion-order edge guarantee above holds per buffer unchanged —
+//! while accesses to buffers hashing to different lanes proceed
+//! concurrently.
 
 use std::sync::Arc;
 

@@ -29,7 +29,11 @@ use super::TaskData;
 /// counter for as long as the owning version buffer is alive. This is
 /// what the §III *memory limit* blocking condition watches — renaming
 /// trades memory for parallelism, and the ticket count is exactly that
-/// traded memory.
+/// traded memory. The counter is a single shared atomic (AcqRel both
+/// ways), so under sharded analysis every lane's renames fold into one
+/// account: the spawn throttle (`Runtime::throttle`, and each
+/// `Submitter`'s post-submit wait) observes the *sum* of renamed bytes
+/// across all submitter lanes, never a per-lane undercount.
 pub(crate) struct MemTicket {
     bytes: usize,
     acct: Arc<AtomicUsize>,

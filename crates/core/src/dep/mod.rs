@@ -55,7 +55,7 @@ use crate::data::region_handle::{
 use crate::data::version::{ReadBinding, WriteBinding};
 use crate::data::TaskData;
 use crate::graph::record::EdgeKind;
-use crate::runtime::spawner::TaskSpawner;
+use crate::runtime::spawner::{SpawnHost, TaskSpawner};
 
 /// Refresh an object's `last_writer` locality hint and cast this
 /// parameter's preferred-worker vote (weight 1 for whole-object
@@ -70,7 +70,7 @@ use crate::runtime::spawner::TaskSpawner;
 ///   there, so the parameter casts no vote (a stale hint would fight
 ///   the releaser's better information).
 /// * no producer (settled initial data) → vote the cached hint, if any.
-fn vote_last_writer<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<T>) {
+fn vote_last_writer<T, H: SpawnHost>(sp: &TaskSpawner<'_, H>, st: &mut crate::data::object::ObjState<T>) {
     let hint = match &st.current.producer {
         Some(p) if p.is_finished_relaxed() => {
             let w = p.ran_on();
@@ -84,7 +84,11 @@ fn vote_last_writer<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjSt
 }
 
 /// Analyse an `input` parameter.
-pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBinding<T> {
+pub(crate) fn read<T: TaskData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
+    h: &Handle<T>,
+) -> ReadBinding<T> {
+    let _lane = sp.lane_enter(h.obj.id);
     let mut st = h.obj.state.lock();
     if !sp.renaming() {
         st.readers_list.push(Arc::clone(sp.node()));
@@ -102,7 +106,11 @@ pub(crate) fn read<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> ReadBind
 }
 
 /// Analyse an `output` parameter.
-pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
+pub(crate) fn write<T: TaskData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
+    h: &Handle<T>,
+) -> WriteBinding<T> {
+    let _lane = sp.lane_enter(h.obj.id);
     if sp.renaming() {
         let pool = sp.version_pooling();
         let mut pooled_rename = None;
@@ -157,7 +165,11 @@ pub(crate) fn write<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBi
 }
 
 /// Analyse an `inout` parameter.
-pub(crate) fn inout<T: TaskData>(sp: &TaskSpawner<'_>, h: &Handle<T>) -> WriteBinding<T> {
+pub(crate) fn inout<T: TaskData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
+    h: &Handle<T>,
+) -> WriteBinding<T> {
+    let _lane = sp.lane_enter(h.obj.id);
     if sp.renaming() {
         let pool = sp.version_pooling();
         let mut pooled_rename = None;
@@ -238,7 +250,7 @@ fn quiescent<T>(cur: &CurrentVersion<T>) -> bool {
 /// the object lock: the ablation path is not perf-critical, and
 /// draining in place keeps `readers_list`'s capacity (and the path
 /// allocation-free) instead of stealing the buffer per writer.
-fn link_hazards<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<T>) -> bool {
+fn link_hazards<T, H: SpawnHost>(sp: &TaskSpawner<'_, H>, st: &mut crate::data::object::ObjState<T>) -> bool {
     let mut self_alias = false;
     for r in st.readers_list.drain(..) {
         if Arc::ptr_eq(&r, sp.node()) {
@@ -254,8 +266,8 @@ fn link_hazards<T>(sp: &TaskSpawner<'_>, st: &mut crate::data::object::ObjState<
 }
 
 /// Analyse a region `input`.
-pub(crate) fn read_region<T: RegionData>(
-    sp: &TaskSpawner<'_>,
+pub(crate) fn read_region<T: RegionData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
     h: &RegionHandle<T>,
     region: Region,
 ) -> RegionReadBinding<T> {
@@ -266,8 +278,8 @@ pub(crate) fn read_region<T: RegionData>(
 /// Analyse a region `output`/`inout`. The region analyser does not rename
 /// (see module docs), so both directions produce identical edges; the
 /// distinction only matters for documentation and the access API.
-pub(crate) fn write_region<T: RegionData>(
-    sp: &TaskSpawner<'_>,
+pub(crate) fn write_region<T: RegionData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
     h: &RegionHandle<T>,
     region: Region,
 ) -> RegionWriteBinding<T> {
@@ -275,12 +287,18 @@ pub(crate) fn write_region<T: RegionData>(
     RegionWriteBinding::new(Arc::clone(&h.obj), region)
 }
 
-fn region_deps<T: RegionData>(
-    sp: &TaskSpawner<'_>,
+fn region_deps<T: RegionData, H: SpawnHost>(
+    sp: &TaskSpawner<'_, H>,
     h: &RegionHandle<T>,
     region: &Region,
     write: bool,
 ) {
+    // Region analysis gates on the lane of the region's representant
+    // object id, like scalar analysis gates on the object id: the log
+    // mutex alone would keep the data safe, but the lane keeps one
+    // region's analysis ordered with respect to the rest of its lane's
+    // universe on a sharded runtime.
+    let _lane = sp.lane_enter(h.obj.id);
     // Finished entries can no longer gate anything; the log prunes them
     // eagerly unless the structural recorder needs the history.
     let prune = !sp.record_graph();

@@ -260,6 +260,13 @@ pub struct TaskNode {
     /// Written exactly once per lifecycle, by the completing thread as
     /// it pushes the node; cleared on reset.
     pub(crate) free_next: AtomicPtr<TaskNode>,
+    /// Analysis lane whose pool this node belongs to (0 for the main
+    /// runtime and every unsharded build). Stamped by the acquiring
+    /// lane pre-publication — the publication's Release/Acquire edges
+    /// carry it to the completing worker, which routes the recycled
+    /// node back to that lane's free stack so per-lane pools stay
+    /// balanced under multi-submitter spawning.
+    home: AtomicU32,
     /// Spare successor links harvested by `complete`: the walked list's
     /// link nodes, succ slots dead, chained for reuse. Written by the
     /// completing thread (which owns the detached list exclusively after
@@ -291,6 +298,7 @@ impl TaskNode {
             ran_on: AtomicU32::new(NO_WORKER),
             pref: AtomicU32::new(NO_WORKER),
             free_next: AtomicPtr::new(ptr::null_mut()),
+            home: AtomicU32::new(0),
             spare_links: UnsafeCell::new(ptr::null_mut()),
         })
     }
@@ -381,6 +389,19 @@ impl TaskNode {
             NO_WORKER => None,
             w => Some(w as usize),
         }
+    }
+
+    /// Stamp the owning analysis lane (pre-publication plain store;
+    /// see the [`home`](Self::home) field docs).
+    #[inline]
+    pub(crate) fn set_home(&self, lane: usize) {
+        self.home.store(lane as u32, Ordering::Relaxed);
+    }
+
+    /// The analysis lane whose pool recycles this node.
+    #[inline]
+    pub(crate) fn home(&self) -> usize {
+        self.home.load(Ordering::Relaxed) as usize
     }
 
     /// True once the task body has run to completion.

@@ -72,6 +72,7 @@ pub use data::representant::Representant;
 pub use data::version::{ReadBinding, WriteBinding};
 pub use graph::record::GraphRecord;
 pub use ids::{ObjectId, TaskId};
+pub use runtime::shard::Submitter;
 pub use runtime::spawner::TaskSpawner;
 pub use runtime::{Priority, Runtime};
 pub use sched::TaskSource;

@@ -1,6 +1,7 @@
 //! The public [`Runtime`]: object creation, task spawning, barriers,
 //! blocking conditions, and runtime introspection.
 
+pub mod shard;
 pub mod spawner;
 
 use std::cell::{Cell, RefCell};
@@ -99,13 +100,25 @@ pub struct Shared {
     pub(crate) tracer: Option<TraceCollector>,
     pub(crate) sleep: SleepCtl,
     pub(crate) shutdown: AtomicBool,
-    /// Head of the intrusive free stack of recycled task nodes (the
-    /// spawn-side node pool). Completing threads push finished nodes
-    /// through [`TaskNode::free_next`]; only the spawner pops, with a
-    /// single `swap` that detaches the whole chain, so the stack is
-    /// MPSC and immune to ABA. Padded: every worker CAS-pushes here
-    /// once per task while the spawner swaps it.
-    pub(crate) free_nodes: CachePadded<AtomicPtr<TaskNode>>,
+    /// Per-lane heads of the intrusive free stacks of recycled task
+    /// nodes (the spawn-side node pool; one stack per analysis lane,
+    /// one lane total when unsharded). Completing threads push finished
+    /// nodes through [`TaskNode::free_next`] onto the stack of the
+    /// node's **home lane** (stamped at acquire); only that lane's
+    /// spawner pops, with a single `swap` that detaches the whole
+    /// chain, so each stack is MPSC and immune to ABA. Padded: every
+    /// worker CAS-pushes here once per task while the spawner swaps it.
+    pub(crate) free_nodes: Box<[CachePadded<AtomicPtr<TaskNode>>]>,
+    /// One [`LaneGate`](shard::LaneGate) per analysis lane: entry
+    /// tickets to each lane's `SpawnerCell` universe. Only taken when
+    /// [`sharded`](Shared::sharded) — the single-spawner path never
+    /// touches them.
+    pub(crate) lanes: Box<[shard::LaneGate]>,
+    /// More than one analysis lane (`cfg.shards > 1`): spawn counters
+    /// become RMWs, object accesses gate through [`lanes`](Shared::lanes),
+    /// and completion must assume concurrent successor registration even
+    /// at `threads == 1`. Derived once at build.
+    pub(crate) sharded: bool,
 }
 
 impl Shared {
@@ -118,11 +131,16 @@ impl Shared {
             && cfg.policy == crate::config::SchedulerPolicy::Smpss;
         let self_stash = locality_routing
             && (cfg.graph_size_limit.is_some() || cfg.memory_limit.is_some());
+        let shards = cfg.shards;
+        let mut stats = Stats::new(n);
+        // Sharded analysis has concurrent spawners: the spawner-side
+        // counters switch from single-writer load+store to RMWs.
+        stats.concurrent = shards > 1;
         Shared {
             graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
             tracer: cfg.tracing.then(|| TraceCollector::new(n)),
             cfg,
-            stats: Stats::new(n),
+            stats,
             hp: Injector::new(),
             hp_used: CachePadded::new(AtomicBool::new(false)),
             main_q: Injector::new(),
@@ -137,7 +155,11 @@ impl Shared {
             next_obj: AtomicU64::new(0),
             sleep: SleepCtl::default(),
             shutdown: AtomicBool::new(false),
-            free_nodes: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
+            free_nodes: (0..shards)
+                .map(|_| CachePadded::new(AtomicPtr::new(std::ptr::null_mut())))
+                .collect(),
+            lanes: (0..shards).map(|_| shard::LaneGate::new()).collect(),
+            sharded: shards > 1,
         }
     }
 
@@ -178,39 +200,38 @@ impl Shared {
         spawned.saturating_sub(self.finished_total()) as usize
     }
 
-    /// Hand a finished node to the spawn-side pool. Called by the thread
-    /// that ran the task, after `complete` — the last point the runtime
-    /// touches the node. The node may still be referenced elsewhere
-    /// (e.g. as an object's producer); the pool proves exclusivity with
+    /// Hand a finished node to the spawn-side pool of its **home lane**
+    /// (always lane 0 when unsharded). Called by the thread that ran the
+    /// task, after `complete` — the last point the runtime touches the
+    /// node. The node may still be referenced elsewhere (e.g. as an
+    /// object's producer); the pool proves exclusivity with
     /// `Arc::get_mut` before reuse.
     #[inline]
     pub(crate) fn recycle_node(&self, node: Arc<TaskNode>) {
+        let lane = node.home();
+        debug_assert!(lane < self.free_nodes.len(), "home lane out of range");
+        let stack = &self.free_nodes[lane];
         let raw = Arc::into_raw(node) as *mut TaskNode;
-        let mut head = self.free_nodes.load(Ordering::Relaxed);
+        let mut head = stack.load(Ordering::Relaxed);
         loop {
             // SAFETY: we own the strong reference behind `raw` until the
             // CAS publishes it; `free_next` has a single writer per node
             // lifecycle (this push).
             unsafe { (*raw).free_next.store(head, Ordering::Relaxed) };
-            match self.free_nodes.compare_exchange_weak(
-                head,
-                raw,
-                Ordering::Release,
-                Ordering::Relaxed,
-            ) {
+            match stack.compare_exchange_weak(head, raw, Ordering::Release, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
         }
     }
 
-    /// Detach the whole free stack into `cache` (newest first). The
-    /// Acquire swap pairs with the Release pushes in
+    /// Detach lane `lane`'s whole free stack into `cache` (newest
+    /// first). The Acquire swap pairs with the Release pushes in
     /// [`recycle_node`](Self::recycle_node), so every completing
     /// thread's writes to a popped node happened-before the spawner
     /// reads it. Returns whether anything was drained.
-    pub(crate) fn drain_free_nodes(&self, cache: &mut Vec<Arc<TaskNode>>) -> bool {
-        let mut p = self.free_nodes.swap(std::ptr::null_mut(), Ordering::Acquire);
+    pub(crate) fn drain_free_nodes(&self, lane: usize, cache: &mut Vec<Arc<TaskNode>>) -> bool {
+        let mut p = self.free_nodes[lane].swap(std::ptr::null_mut(), Ordering::Acquire);
         if p.is_null() {
             return false;
         }
@@ -230,14 +251,16 @@ impl Shared {
 
 impl Drop for Shared {
     fn drop(&mut self) {
-        // Release the strong references parked in the free stack.
-        let mut p = *self.free_nodes.get_mut();
-        while !p.is_null() {
-            // SAFETY: exclusive access in Drop; pointers came from
-            // `Arc::into_raw`.
-            let next = unsafe { *(*p).free_next.get_mut() };
-            drop(unsafe { Arc::from_raw(p) });
-            p = next;
+        // Release the strong references parked in the free stacks.
+        for stack in self.free_nodes.iter_mut() {
+            let mut p = *stack.get_mut();
+            while !p.is_null() {
+                // SAFETY: exclusive access in Drop; pointers came from
+                // `Arc::into_raw`.
+                let next = unsafe { *(*p).free_next.get_mut() };
+                drop(unsafe { Arc::from_raw(p) });
+                p = next;
+            }
         }
     }
 }
@@ -245,16 +268,17 @@ impl Drop for Shared {
 /// Upper bound on spawner-side cached free nodes; everything beyond it
 /// is dropped at drain time (the pool should hold about one throttle
 /// window's worth of nodes, not the whole program).
-const NODE_CACHE_MAX: usize = 4096;
+pub(crate) const NODE_CACHE_MAX: usize = 4096;
 
 /// Upper bound on spawner-side cached spare successor links (same
 /// rationale as [`NODE_CACHE_MAX`]; a link is 24 bytes).
-const LINK_CACHE_MAX: usize = 4096;
+pub(crate) const LINK_CACHE_MAX: usize = 4096;
 
-/// A spare successor link in the spawner's cache. Plain heap data with
+/// A spare successor link in a spawn host's cache. Plain heap data with
 /// a dead payload slot, so moving it between threads is trivially fine;
-/// the newtype exists to keep `Runtime: Send` despite the raw pointer.
-struct LinkPtr(*mut SuccNode);
+/// the newtype exists to keep `Runtime` (and `Submitter`) `Send`
+/// despite the raw pointer.
+pub(crate) struct LinkPtr(pub(crate) *mut SuccNode);
 
 // SAFETY: a spare link is exclusively-owned inert heap memory.
 unsafe impl Send for LinkPtr {}
@@ -271,7 +295,7 @@ unsafe impl Send for LinkPtr {}
 ///   the debug assert keeps that invariant honest;
 /// - the Acquire fence pairs with the Release decrement of the last
 ///   dropped clone, ordering that thread's final accesses before ours.
-fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
+pub(crate) fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
     if Arc::strong_count(node) == 1 {
         debug_assert_eq!(Arc::weak_count(node), 0, "Weak<TaskNode> must never exist");
         std::sync::atomic::fence(Ordering::Acquire);
@@ -280,6 +304,24 @@ fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
         Some(unsafe { &mut *(Arc::as_ptr(node) as *mut TaskNode) })
     } else {
         None
+    }
+}
+
+/// Feed a spare-link chain into a spawn host's link cache, freeing the
+/// overflow. The caller owns the chain exclusively (a recycled node's
+/// exclusivity proof covers the links it stashed).
+pub(crate) fn harvest_links_into(cache: &mut Vec<LinkPtr>, mut chain: *mut SuccNode) {
+    while !chain.is_null() {
+        // SAFETY: exclusively-owned spare chain (see above).
+        unsafe {
+            let next = (*chain).next;
+            if cache.len() < LINK_CACHE_MAX {
+                cache.push(LinkPtr(chain));
+            } else {
+                node::free_link(chain);
+            }
+            chain = next;
+        }
     }
 }
 
@@ -299,6 +341,12 @@ fn exclusive_node_mut(node: &mut Arc<TaskNode>) -> Option<&mut TaskNode> {
 /// fn require_sync<T: Sync>() {}
 /// require_sync::<smpss::Runtime>();
 /// ```
+///
+/// Sharded analysis ([`shards(n)`](crate::RuntimeBuilder::shards)) does
+/// not relax this: the runtime stays one main thread. Extra analysis
+/// capacity comes from [`Submitter`](crate::Submitter) lanes
+/// ([`submitters`](Runtime::submitters)), each itself `Send + !Sync`
+/// and pinned to one producer thread.
 pub struct Runtime {
     pub(crate) shared: Arc<Shared>,
     /// The main thread's scheduling state (thread index 0): own ready
@@ -377,7 +425,12 @@ impl Runtime {
         if self.shared.cfg.node_pool {
             let mut cache = self.node_cache.borrow_mut();
             if cache.is_empty() {
-                self.shared.drain_free_nodes(&mut cache);
+                // The runtime's spawn path is lane 0 of the pool: when
+                // unsharded that is the only stack; when sharded the
+                // main thread shares it with submitter 0 (home-lane
+                // stamps route each node back to whoever acquired it,
+                // so the stack stays MPSC per lane).
+                self.shared.drain_free_nodes(0, &mut cache);
             }
             while let Some(mut node) = cache.pop() {
                 if let Some(n) = exclusive_node_mut(&mut node) {
@@ -385,11 +438,18 @@ impl Runtime {
                     n.reset_for_reuse(id, name, Priority::Normal);
                     self.harvest_links(links);
                     self.shared.stats.node_pool_hits();
+                    if self.shared.sharded {
+                        // `help_once` caches nodes born on any lane;
+                        // re-stamp so this node recycles back to us.
+                        node.set_home(0);
+                    }
                     return node;
                 }
             }
         }
-        TaskNode::new(id, name, Priority::Normal)
+        let node = TaskNode::new(id, name, Priority::Normal);
+        debug_assert_eq!(node.home(), 0, "fresh nodes are born on lane 0");
+        node
     }
 
     /// A spare successor link for the analyser: recycled from the link
@@ -419,23 +479,8 @@ impl Runtime {
     /// cache. The exclusivity proof for the node (strong_count == 1 +
     /// Acquire fence over the free-stack hand-off) covers the chain: the
     /// completing thread stashed it before pushing the node.
-    fn harvest_links(&self, mut chain: *mut SuccNode) {
-        if chain.is_null() {
-            return;
-        }
-        let mut cache = self.link_cache.borrow_mut();
-        while !chain.is_null() {
-            // SAFETY: exclusively-owned spare chain (see above).
-            unsafe {
-                let next = (*chain).next;
-                if cache.len() < LINK_CACHE_MAX {
-                    cache.push(LinkPtr(chain));
-                } else {
-                    node::free_link(chain);
-                }
-                chain = next;
-            }
-        }
+    fn harvest_links(&self, chain: *mut SuccNode) {
+        harvest_links_into(&mut self.link_cache.borrow_mut(), chain);
     }
 
     /// Number of compute threads (main + workers).
@@ -554,6 +599,34 @@ impl Runtime {
     pub fn barrier(&self) {
         self.shared.stats.barriers();
         self.shared.trace_event(0, EventKind::BarrierBegin);
+        if self.shared.sharded {
+            // Submitter lanes may still be spawning concurrently, so
+            // the spawn count is **not** stable here: re-read it every
+            // idle pass. The barrier quiesces every task spawned up to
+            // the moment both counters agree; join (or pause) the
+            // submitter threads first for a full program quiesce.
+            let mut seen = self.finished_seen.get();
+            loop {
+                let spawned = self.shared.next_task.load(Ordering::Acquire);
+                if spawned.saturating_sub(seen) == 0 {
+                    break;
+                }
+                if self.help_once() {
+                    seen += 1; // our completion, a still-valid lower bound
+                    continue;
+                }
+                seen = self.shared.finished_total();
+                if spawned.saturating_sub(seen) > 0 {
+                    self.shared
+                        .sleep
+                        .park(Duration::from_micros(self.shared.cfg.park_micros));
+                }
+            }
+            self.finished_seen.set(seen);
+            self.throttle_engaged.set(false);
+            self.shared.trace_event(0, EventKind::BarrierEnd);
+            return;
+        }
         // Drain on the cached finished lower bound: while the main
         // thread is helping, each run task advances the bound by one
         // (its own completion is real), so the busy loop never pays the
@@ -603,7 +676,16 @@ impl Runtime {
     /// ```
     pub fn wait_on<T: TaskData>(&self, h: &Handle<T>) {
         loop {
-            let producer = h.obj.state.lock().current.producer.clone();
+            let producer = {
+                // On a sharded runtime a submitter may be analysing a
+                // task on this object right now: enter its lane before
+                // touching the `SpawnerCell`. (The probe only
+                // synchronises with tasks spawned so far — quiesce any
+                // submitter that may still *write* `h` before relying
+                // on the result.)
+                let _lane = self.lane_gate(h.obj.id);
+                h.obj.state.lock().current.producer.clone()
+            };
             match producer {
                 None => break,
                 Some(p) if p.is_finished() => break,
@@ -620,10 +702,12 @@ impl Runtime {
     /// Wait for `h` to be produced, then return a copy of its value.
     pub fn read<T: TaskData>(&self, h: &Handle<T>) -> T {
         self.wait_on(h);
+        let _lane = self.lane_gate(h.obj.id);
         let st = h.obj.state.lock();
-        // SAFETY: the producer has finished and the main thread (the only
-        // spawner) is right here, so no new writer can appear; concurrent
-        // readers share immutably.
+        // SAFETY: the producer has finished and no new writer can appear
+        // — the main thread is right here, and on a sharded runtime the
+        // caller quiesces submitters that write `h` first (see
+        // `wait_on`); concurrent readers share immutably.
         unsafe { st.current.buf.peek().clone() }
     }
 
@@ -632,12 +716,16 @@ impl Runtime {
     pub fn update<T: TaskData>(&self, h: &Handle<T>, f: impl FnOnce(&mut T)) {
         loop {
             {
+                let _lane = self.lane_gate(h.obj.id);
                 let st = h.obj.state.lock();
                 let settled = st.current.producer.as_ref().is_none_or(|p| p.is_finished())
                     && st.current.buf.window().pending_acquire() == 0;
                 if settled {
-                    // SAFETY: no producer running, no pending readers, and
-                    // no concurrent spawns (single main thread).
+                    // SAFETY: no producer running, no pending readers,
+                    // and no concurrent spawns on this object — the
+                    // lane is held for the mutation, and submitters
+                    // that access `h` must be quiesced by the caller
+                    // (see `wait_on`).
                     unsafe { f(st.current.buf.peek_mut()) };
                     break;
                 }
@@ -915,6 +1003,73 @@ impl Runtime {
         // actively turning the spawner into a worker.
         self.throttle_engaged.set(engaged);
     }
+
+    /// Enter the lane owning object `id` — only on a sharded runtime,
+    /// where submitter threads may be analysing concurrently. Unsharded
+    /// (the default), this is a single branch and no atomics: the main
+    /// thread is the only spawner, exactly the paper's model.
+    #[inline]
+    fn lane_gate(&self, id: ObjectId) -> Option<shard::LaneEntry<'_>> {
+        if self.shared.sharded {
+            Some(self.shared.lane_enter(id))
+        } else {
+            None
+        }
+    }
+}
+
+/// The [`Runtime`] itself is the canonical spawn host: the paper's
+/// master thread. Single-writer id minting and the private hand-off
+/// stash stay exclusive to this impl; when the runtime is sharded its
+/// counters switch to the same RMWs the submitter lanes use, and its
+/// object accesses gate like any other lane's.
+impl spawner::SpawnHost for Runtime {
+    #[inline]
+    fn shared(&self) -> &Shared {
+        &self.shared
+    }
+
+    #[inline]
+    fn next_task_id(&self) -> TaskId {
+        if self.shared.sharded {
+            TaskId(self.shared.next_task.fetch_add(1, Ordering::Relaxed) + 1)
+        } else {
+            // Single writer (`Runtime: !Sync` pins spawning to one
+            // thread): load+store avoids a locked RMW per task.
+            let next = self.shared.next_task.load(Ordering::Relaxed) + 1;
+            self.shared.next_task.store(next, Ordering::Relaxed);
+            TaskId(next)
+        }
+    }
+
+    #[inline]
+    fn acquire_node(&self, id: TaskId, name: &'static str) -> Arc<TaskNode> {
+        Runtime::acquire_node(self, id, name)
+    }
+
+    #[inline]
+    fn acquire_link(&self) -> *mut SuccNode {
+        Runtime::acquire_link(self)
+    }
+
+    fn release_link(&self, link: *mut SuccNode) {
+        Runtime::release_link(self, link)
+    }
+
+    #[inline]
+    fn publish_born_ready(&self, job: crate::sched::Job) {
+        Runtime::publish_born_ready(self, job)
+    }
+
+    #[inline]
+    fn after_submit(&self) {
+        self.throttle();
+    }
+
+    #[inline]
+    fn lane_enter(&self, id: ObjectId) -> Option<shard::LaneEntry<'_>> {
+        self.lane_gate(id)
+    }
 }
 
 impl Drop for Runtime {
@@ -942,5 +1097,87 @@ impl std::fmt::Debug for Runtime {
             .field("threads", &self.threads())
             .field("live_tasks", &self.live_tasks())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+    use std::sync::atomic::AtomicU64;
+
+    /// PR 5 documented (prose only, until now) that `help_once` must
+    /// drain the self-affinity stash **before** consuming the deferred
+    /// completion hand-off: the stash holds the task the *triggering
+    /// submit* just made ready, and running it first is what lets the
+    /// next writer reuse its version in place — on the swapped order
+    /// the runtime locks into a self-sustaining rename loop. This test
+    /// fails if the two private slots are ever consumed in the other
+    /// order.
+    #[test]
+    fn help_once_drains_stash_before_the_handoff() {
+        let rt = Runtime::builder().threads(2).build();
+        assert!(rt.shared.locality_routing, "stash path needs locality");
+        let clock = Arc::new(AtomicU64::new(1));
+        let stamp = |slot: &Arc<AtomicU64>| {
+            let clock = Arc::clone(&clock);
+            let slot = Arc::clone(slot);
+            move || {
+                slot.store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            }
+        };
+        let stash_ran = Arc::new(AtomicU64::new(0));
+        let pending_ran = Arc::new(AtomicU64::new(0));
+        let stash_job = TaskNode::new(TaskId(1), "stashed", Priority::Normal);
+        stash_job.install_body(stamp(&stash_ran));
+        let pending_job = TaskNode::new(TaskId(2), "handoff", Priority::Normal);
+        pending_job.install_body(stamp(&pending_ran));
+        {
+            let mut ctx = rt.main_ctx.borrow_mut();
+            ctx.stash.push_back(stash_job);
+            ctx.pending = Some(pending_job);
+        }
+        assert!(rt.help_once(), "two private tasks are waiting");
+        assert_eq!(
+            (stash_ran.load(Ordering::SeqCst), pending_ran.load(Ordering::SeqCst)),
+            (1, 0),
+            "the stashed task must run before the deferred hand-off"
+        );
+        assert!(rt.help_once(), "the hand-off is still parked");
+        assert_eq!(pending_ran.load(Ordering::SeqCst), 2, "hand-off runs second");
+    }
+
+    /// High-priority work preempts both private slots: with a live HP
+    /// task, `help_once` demotes the hand-off to the own list and skips
+    /// the stash shortcut, so the HP task runs first.
+    #[test]
+    fn high_priority_preempts_stash_and_handoff() {
+        let rt = Runtime::builder().threads(2).build();
+        let clock = Arc::new(AtomicU64::new(1));
+        let stamp = |slot: &Arc<AtomicU64>| {
+            let clock = Arc::clone(&clock);
+            let slot = Arc::clone(slot);
+            move || {
+                slot.store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+            }
+        };
+        let stash_ran = Arc::new(AtomicU64::new(0));
+        let hp_ran = Arc::new(AtomicU64::new(0));
+        let stash_job = TaskNode::new(TaskId(1), "stashed", Priority::Normal);
+        stash_job.install_body(stamp(&stash_ran));
+        let hp_job = TaskNode::new(TaskId(2), "urgent", Priority::Normal);
+        hp_job.set_high_priority();
+        hp_job.install_body(stamp(&hp_ran));
+        {
+            let mut ctx = rt.main_ctx.borrow_mut();
+            ctx.stash.push_back(stash_job);
+        }
+        rt.shared.hp_used.store(true, Ordering::Relaxed);
+        rt.shared.hp.push(hp_job);
+        assert!(rt.help_once());
+        assert_eq!(hp_ran.load(Ordering::SeqCst), 1, "HP first, stash waits");
+        // Drain the stashed task so runtime drop sees a clean context.
+        assert!(rt.help_once());
+        assert_eq!(stash_ran.load(Ordering::SeqCst), 2);
     }
 }

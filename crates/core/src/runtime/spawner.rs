@@ -9,11 +9,22 @@
 //!
 //! Every cycle here sits on the §III serial generation path, so the
 //! spawner leans on the spawn-side fast path: the node comes from the
-//! recycling pool ([`Runtime::acquire_node`]), the body is installed
-//! inline in the node (no box for ordinary closures), `submit` moves the
-//! node into the ready queue without a spare refcount round-trip, and
-//! the `renaming`/`record_graph` configuration is cached as plain bools
-//! so the per-parameter analyser never chases shared state for them.
+//! recycling pool, the body is installed inline in the node (no box for
+//! ordinary closures), `submit` moves the node into the ready queue
+//! without a spare refcount round-trip, and the `renaming`/`record_graph`
+//! configuration is cached as plain bools so the per-parameter analyser
+//! never chases shared state for them.
+//!
+//! ## Spawn hosts
+//!
+//! The spawner is generic over **who** is running the analysis
+//! ([`SpawnHost`]): the [`Runtime`] itself — the paper's single master
+//! thread, with single-writer counters and no gates — or a
+//! [`Submitter`](crate::Submitter) lane when dependency analysis is
+//! sharded (`RuntimeBuilder::shards(n)`). The host supplies the id
+//! minting discipline, the node/link pools, the born-ready publication
+//! route and the lane gate; the analysis sequence itself is identical,
+//! which is what the shard-equality proptests pin.
 
 use std::mem::ManuallyDrop;
 use std::sync::atomic::Ordering;
@@ -25,19 +36,52 @@ use crate::data::region_handle::{RegionData, RegionHandle, RegionReadBinding, Re
 use crate::data::version::{ReadBinding, WriteBinding};
 use crate::data::TaskData;
 use crate::dep;
-use crate::graph::node::TaskNode;
+use crate::graph::node::{SuccNode, TaskNode};
 use crate::graph::record::{EdgeKind, NodeInfo};
-use crate::ids::TaskId;
-use crate::runtime::Runtime;
+use crate::ids::{ObjectId, TaskId};
+use crate::runtime::shard::LaneEntry;
+use crate::runtime::{Runtime, Shared};
+use crate::sched::queues::Job;
 use crate::stats::Stats;
 use crate::trace::EventKind;
 
+/// A thread that may run dependency analysis: the [`Runtime`] (the
+/// paper's single master thread) or one [`Submitter`](crate::Submitter)
+/// lane of a sharded runtime. The host decides how task ids are minted
+/// (single-writer load+store vs. an RMW), which node/link pool feeds the
+/// spawn, how a born-ready task is published, what the post-submit
+/// blocking condition looks like, and whether object state must be
+/// entered under a lane gate.
+pub(crate) trait SpawnHost {
+    /// The shared runtime state this host spawns into.
+    fn shared(&self) -> &Shared;
+    /// Mint the next task id (1-based invocation order).
+    fn next_task_id(&self) -> TaskId;
+    /// Obtain a task node, recycled from this host's pool when possible.
+    fn acquire_node(&self, id: TaskId, name: &'static str) -> Arc<TaskNode>;
+    /// A spare successor link for the analyser.
+    fn acquire_link(&self) -> *mut SuccNode;
+    /// Return an unused spare link to this host's cache.
+    fn release_link(&self, link: *mut SuccNode);
+    /// Publish a task that is ready at submit time.
+    fn publish_born_ready(&self, job: Job);
+    /// Run the §III blocking conditions after a submit.
+    fn after_submit(&self);
+    /// Enter the analysis lane owning object `id`. `None` on an
+    /// unsharded runtime: the single spawning thread needs no gate, and
+    /// the `shards(1)` path must stay free of it.
+    fn lane_enter(&self, id: ObjectId) -> Option<LaneEntry<'_>>;
+}
+
 /// One in-flight task invocation. Create with
-/// [`Runtime::task`](crate::Runtime::task); consume with
-/// [`submit`](Self::submit). Dropping a spawner without submitting is a
-/// programming error and panics (the node already exists in the graph).
-pub struct TaskSpawner<'rt> {
-    rt: &'rt Runtime,
+/// [`Runtime::task`](crate::Runtime::task) (or
+/// [`Submitter::task`](crate::Submitter::task) on a sharded runtime);
+/// consume with [`submit`](Self::submit). Dropping a spawner without
+/// submitting is a programming error and panics (the node already
+/// exists in the graph).
+#[allow(private_bounds)]
+pub struct TaskSpawner<'rt, H: SpawnHost = Runtime> {
+    rt: &'rt H,
     /// `ManuallyDrop` so `submit` can move the node straight into the
     /// ready queue instead of cloning and dropping (two refcount RMWs
     /// per task otherwise). The drop guard below releases it on the
@@ -75,19 +119,17 @@ const VOTE_SLOTS: usize = 4;
 /// Empty ballot slot marker.
 const NO_VOTE: u32 = u32::MAX;
 
-impl<'rt> TaskSpawner<'rt> {
+#[allow(private_bounds)]
+impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
     #[inline]
-    pub(crate) fn new(rt: &'rt Runtime, name: &'static str) -> Self {
-        // Single writer (`Runtime: !Sync` pins spawning to one thread):
-        // load+store avoids a locked RMW per task.
-        let next = rt.shared.next_task.load(Ordering::Relaxed) + 1;
-        rt.shared.next_task.store(next, Ordering::Relaxed);
-        let id = TaskId(next);
+    pub(crate) fn new(rt: &'rt H, name: &'static str) -> Self {
+        let id = rt.next_task_id();
         let node = rt.acquire_node(id, name);
-        // Liveness accounting is free here: `next_task` above *is* the
-        // spawn count; only completion pays an RMW (`Shared::finished`).
-        rt.shared.stats.tasks_spawned();
-        if let Some(g) = &rt.shared.graph {
+        let shared = rt.shared();
+        // Liveness accounting is free here: `next_task` *is* the spawn
+        // count; only completion pays an RMW (`Shared::finished`).
+        shared.stats.tasks_spawned();
+        if let Some(g) = &shared.graph {
             g.lock().add_node(NodeInfo {
                 id,
                 name,
@@ -98,10 +140,10 @@ impl<'rt> TaskSpawner<'rt> {
             rt,
             node: ManuallyDrop::new(node),
             submitted: false,
-            renaming: rt.shared.cfg.renaming,
-            record: rt.shared.cfg.record_graph,
+            renaming: shared.cfg.renaming,
+            record: shared.cfg.record_graph,
             counted_edges: std::cell::Cell::new(0),
-            locality: rt.shared.locality_routing,
+            locality: shared.locality_routing,
             votes: std::cell::Cell::new([(NO_VOTE, 0); VOTE_SLOTS]),
         }
     }
@@ -114,7 +156,7 @@ impl<'rt> TaskSpawner<'rt> {
     /// Mark this task `highpriority`.
     pub fn high_priority(&mut self) -> &mut Self {
         self.node.set_high_priority();
-        if let Some(g) = &self.rt.shared.graph {
+        if let Some(g) = &self.rt.shared().graph {
             g.lock().set_high_priority(self.node.id());
         }
         self
@@ -180,7 +222,7 @@ impl<'rt> TaskSpawner<'rt> {
                 self.node.set_pref_worker(w);
             }
         }
-        self.rt.shared.trace_event(0, EventKind::Spawn(self.node.id()));
+        self.rt.shared().trace_event(0, EventKind::Spawn(self.node.id()));
         self.submitted = true;
         // SAFETY: `submitted` is set, so Drop will not touch `node`
         // again; this is the move that replaces the old clone+drop pair.
@@ -194,7 +236,7 @@ impl<'rt> TaskSpawner<'rt> {
         } else if node.release_dep() {
             self.rt.publish_born_ready(node);
         }
-        self.rt.throttle();
+        self.rt.after_submit();
     }
 
     // ---- analyser plumbing -------------------------------------------
@@ -205,6 +247,15 @@ impl<'rt> TaskSpawner<'rt> {
 
     pub(crate) fn renaming(&self) -> bool {
         self.renaming
+    }
+
+    /// Enter the analysis lane owning object `id` (see
+    /// [`SpawnHost::lane_enter`]). The analyser takes this before
+    /// touching an object's `SpawnerCell` state; on an unsharded
+    /// runtime it is a single branch.
+    #[inline]
+    pub(crate) fn lane_enter(&self, id: ObjectId) -> Option<LaneEntry<'_>> {
+        self.rt.lane_enter(id)
     }
 
     /// Is locality placement live for this runtime? (Cached; gates the
@@ -261,11 +312,11 @@ impl<'rt> TaskSpawner<'rt> {
     }
 
     pub(crate) fn version_pooling(&self) -> bool {
-        self.rt.shared.cfg.version_pool
+        self.rt.shared().cfg.version_pool
     }
 
     pub(crate) fn stats(&self) -> &Stats {
-        &self.rt.shared.stats
+        &self.rt.shared().stats
     }
 
     /// Link a dependency edge `producer -> self`, recording it structurally
@@ -277,18 +328,23 @@ impl<'rt> TaskSpawner<'rt> {
             // the same handle within one invocation).
             return;
         }
-        if let Some(g) = &self.rt.shared.graph {
+        let shared = self.rt.shared();
+        if let Some(g) = &shared.graph {
             g.lock().add_edge(producer.id(), self.node.id(), kind);
         }
         match kind {
-            EdgeKind::True => self.rt.shared.stats.true_edges(),
-            EdgeKind::Anti | EdgeKind::Output => self.rt.shared.stats.anti_edges(),
+            EdgeKind::True => shared.stats.true_edges(),
+            EdgeKind::Anti | EdgeKind::Output => shared.stats.anti_edges(),
         }
         // Count the dependency BEFORE publishing the successor link: the
         // producer may complete the instant `add_successor_with`
         // publishes, and its completion path must find the count already
         // in place (otherwise the task could be released twice — once by
-        // the uncounted completion, once by the spawn guard).
+        // the uncounted completion, once by the spawn guard). This
+        // ordering is also what makes **cross-shard** edges safe: a
+        // producer analysed on another lane may be completing on a
+        // worker right now, and the publication CAS (Release) is the
+        // only hand-off the two sides need — no extra machinery.
         if self.counted_edges.get() == 0 {
             // First counted edge: no successor link has been published
             // yet, so no other thread can reach `deps` — the increment
@@ -314,7 +370,8 @@ impl<'rt> TaskSpawner<'rt> {
     }
 }
 
-impl Drop for TaskSpawner<'_> {
+#[allow(private_bounds)]
+impl<H: SpawnHost> Drop for TaskSpawner<'_, H> {
     fn drop(&mut self) {
         if !self.submitted {
             // SAFETY: `submit` was never reached, so the node is still

@@ -87,8 +87,11 @@ pub(crate) fn finish_task(
 ) -> (Option<Job>, Wake) {
     // `threads == 1`: the main thread is the only consumer and the only
     // completer, so the list close, the finish flag and the finished
-    // shard all degrade to plain loads and stores.
-    let single = shared.cfg.threads == 1;
+    // shard all degrade to plain loads and stores. A **sharded** runtime
+    // never qualifies: submitter lanes CAS successor links onto nodes
+    // concurrently even when only one compute thread exists, so the
+    // close must stay an AcqRel swap.
+    let single = shared.cfg.threads == 1 && !shared.sharded;
     debug_assert!(ready.is_empty(), "ready buffer must be drained");
     let n_ready = if single {
         job.complete_single(|s| ready.push(s))
@@ -198,6 +201,7 @@ fn publish_batch(
     let mut pushed = 0usize;
     let mut locals_seen = 0usize;
     let mut remote_wakes = 0usize;
+    let mut remote_pushed = 0usize;
     for s in ready.drain(..) {
         if s.priority() == Priority::High {
             shared.hp_used.store(true, Ordering::Relaxed);
@@ -211,6 +215,7 @@ fn publish_batch(
             // propagation (or the owner's own drain) covers this task.
             remote_wakes += mb.is_empty() as usize;
             mb.push(s);
+            remote_pushed += 1;
         } else {
             locals_seen += 1;
             if take_handoff && locals_seen == local_normals {
@@ -232,6 +237,19 @@ fn publish_batch(
     if hp_pushed > 1 || remote_wakes > 1 {
         Wake::All
     } else if hp_pushed == 1 || remote_wakes == 1 || pushed > 1 || (pushed == 1 && was_empty) {
+        Wake::One
+    } else if (pushed > 0 || remote_pushed > 0) && shared.sleep.has_sleepers() {
+        // Lost-wakeup re-probe: the empty-transition checks above were
+        // all evaluated *before* this batch's pushes became visible. A
+        // worker whose last scan missed them may have registered as a
+        // sleeper in between — its registration (Release under the
+        // sleep protocol) is visible to this Acquire probe, which runs
+        // after our pushes. "Queue was non-empty" therefore no longer
+        // implies "someone awake is draining it": if anything was
+        // published and someone is parked right now, send one wake.
+        // The remaining unwoken window is a sleeper that registers
+        // after this probe, having scanned before our pushes — closed
+        // by its own pre-park re-scan or the bounded park timeout.
         Wake::One
     } else {
         Wake::None
@@ -398,6 +416,104 @@ mod tests {
         assert_eq!(handoff.unwrap().id(), TaskId(2));
         assert!(shared.mailboxes[3].is_empty());
         assert_eq!(shared.stats.snapshot().locality_hits, 0);
+    }
+
+    /// Lost-wakeup regression (the batched-publication bugfix): a push
+    /// onto an already-non-empty own list used to return `Wake::None`
+    /// on the theory that an awake worker was draining the list — but a
+    /// worker that parked *after* the publisher's emptiness observation
+    /// and *before* the push breaks that theory. The publisher must
+    /// re-probe the sleeper count after publishing and wake one.
+    #[test]
+    fn publish_to_nonempty_queue_wakes_a_late_sleeper() {
+        let shared = std::sync::Arc::new(shared(2));
+        // Park a real thread so the post-publish re-probe sees it.
+        let parked = {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                shared.sleep.park(std::time::Duration::from_secs(5));
+            })
+        };
+        while !shared.sleep.has_sleepers() {
+            std::thread::yield_now();
+        }
+        let local = Worker::new_lifo();
+        local.push(ready_node(99)); // own list is NOT empty
+        let producer = ready_node(1);
+        let succ = ready_node(2);
+        assert!(producer.add_successor(&succ));
+        succ.retain_dep();
+        assert!(!succ.release_dep());
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        // Helper path (no hand-off): the successor is pushed onto the
+        // non-empty own list — the exact shape that used to lose the
+        // wake.
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, &mut ready);
+        assert!(handoff.is_none());
+        assert_eq!(
+            wake,
+            Wake::One,
+            "publishing with a registered sleeper must wake it even when \
+             the target queue was already non-empty"
+        );
+        shared.sleep.notify_all();
+        parked.join().unwrap();
+    }
+
+    /// The re-probe only fires when something was actually published:
+    /// a pure hand-off (chain) stays silent even with sleepers present.
+    #[test]
+    fn chain_handoff_stays_silent_despite_sleepers() {
+        let shared = std::sync::Arc::new(shared(2));
+        let parked = {
+            let shared = std::sync::Arc::clone(&shared);
+            std::thread::spawn(move || {
+                shared.sleep.park(std::time::Duration::from_secs(5));
+            })
+        };
+        while !shared.sleep.has_sleepers() {
+            std::thread::yield_now();
+        }
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        let succ = ready_node(2);
+        assert!(producer.add_successor(&succ));
+        succ.retain_dep();
+        assert!(!succ.release_dep());
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        assert_eq!(handoff.unwrap().id(), TaskId(2));
+        assert_eq!(wake, Wake::None, "a hand-off publishes nothing — no wake owed");
+        shared.sleep.notify_all();
+        parked.join().unwrap();
+    }
+
+    /// A sharded runtime must keep the AcqRel successor-list close even
+    /// at `threads == 1`: submitter lanes may be CAS-publishing links
+    /// concurrently (`complete_single`'s plain close would race them).
+    #[test]
+    fn sharded_single_thread_uses_concurrent_close() {
+        let shared = Shared::for_tests(
+            crate::RuntimeBuilder::default().threads(1).shards(2).config(),
+        );
+        assert!(shared.sharded);
+        let local = Worker::new_lifo();
+        let producer = ready_node(1);
+        producer.take_body().run();
+        let mut ready = Vec::new();
+        let (_, _) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        // The Release-store accounting (not the single-thread Relaxed
+        // branch) must have run; both write shard 0, so the observable
+        // pin is the successor list being closed via the AcqRel swap —
+        // a late add_successor must fail as "already finished".
+        let late = ready_node(2);
+        assert!(
+            !producer.add_successor(&late),
+            "post-completion registration must see the closed list"
+        );
+        assert_eq!(shared.finished_total(), 1);
     }
 
     /// The legacy ablation path keeps the BENCH_0003 shape: per-successor

@@ -165,13 +165,19 @@ pub(crate) fn steal_half_from(stealer: &Stealer<Job>, local: &Worker<Job>) -> Op
 /// Wakeup protocol: `sleepers` is incremented **under the lock** before
 /// waiting and a notifier that observes `sleepers > 0` takes the same
 /// lock before notifying, so a notify cannot slip between a parker's
-/// registration and its wait. The one remaining window is inherent to
-/// the design: a worker's last queue scan can miss a job pushed right
-/// after the scan but before the worker registers as a sleeper, while
-/// the notifier's `sleepers` load returns 0. That stale miss is bounded
-/// by the park timeout (`RuntimeConfig::park_micros`, default 100µs):
-/// the worker re-scans at most one timeout later, so the scheduler can
-/// stall but never hang.
+/// registration and its wait. Publication paths additionally **re-probe
+/// after publishing**: batched completion publication
+/// (`sched/completion.rs`) decides its wake against pre-push emptiness
+/// observations, then — if that decision was "nobody to wake" despite
+/// having pushed work — checks [`has_sleepers`](SleepCtl::has_sleepers)
+/// once more *after* the pushes are visible, so a worker that parked
+/// between a publisher's scan of the queues and its push is still
+/// woken. The one remaining window is a worker whose last queue scan
+/// missed the push **and** whose sleeper registration lands after the
+/// publisher's re-probe; that stale miss is bounded by the park timeout
+/// (`RuntimeConfig::park_micros`, default 100µs): the worker re-scans
+/// at most one timeout later, so the scheduler can stall but never
+/// hang.
 ///
 /// Orderings: Acquire/Release suffice. The notifier's Release increment
 /// of queue state happens before its Acquire load of `sleepers`; the

@@ -36,9 +36,18 @@ pub(crate) struct PopShard {
 }
 
 impl PopShard {
+    /// `concurrent` selects the sharded-spawner mode: submitter lanes
+    /// can bump the spawn-path counters (and thread 0's placement
+    /// counters) from several threads at once, so the single-writer
+    /// load+store upgrades to a Relaxed `fetch_add`. With one lane
+    /// (the default), the plain store path is kept bit-for-bit.
     #[inline]
-    fn bump(c: &AtomicU64) {
-        c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    fn bump(c: &AtomicU64, concurrent: bool) {
+        if concurrent {
+            c.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -72,6 +81,11 @@ pub struct Stats {
     pub(crate) barriers: AtomicU64,
     /// Times the main thread blocked on the graph-size limit and helped.
     pub(crate) throttle_blocks: AtomicU64,
+    /// Sharded-spawner mode: several submitter lanes bump the
+    /// spawn-path counters concurrently, so the single-writer
+    /// load+store bumps upgrade to Relaxed `fetch_add`s. False (the
+    /// default) keeps the `Runtime: !Sync` single-writer fast path.
+    pub(crate) concurrent: bool,
 }
 
 impl Default for Stats {
@@ -86,14 +100,20 @@ impl Default for Stats {
 /// analysis, barriers, throttling), which `Runtime: !Sync` pins to one
 /// thread — so a plain load+store replaces the locked RMW on the
 /// per-task hot path. Other threads may concurrently *read* (snapshot),
-/// which Relaxed atomics permit.
+/// which Relaxed atomics permit. In sharded-spawner mode (`concurrent`)
+/// several submitter lanes spawn at once and the bump upgrades to a
+/// Relaxed `fetch_add` — exact counts, no ordering obligations.
 macro_rules! bump_spawner {
     ($($name:ident),* $(,)?) => {
         $(
             #[inline]
             pub(crate) fn $name(&self) {
-                let v = self.$name.load(Ordering::Relaxed);
-                self.$name.store(v + 1, Ordering::Relaxed);
+                if self.concurrent {
+                    self.$name.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let v = self.$name.load(Ordering::Relaxed);
+                    self.$name.store(v + 1, Ordering::Relaxed);
+                }
             }
         )*
     };
@@ -125,42 +145,43 @@ impl Stats {
             shards: (0..threads.max(1)).map(|_| PopShard::default()).collect(),
             barriers: AtomicU64::new(0),
             throttle_blocks: AtomicU64::new(0),
+            concurrent: false,
         }
     }
 
     #[inline]
     pub(crate) fn own_pops(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].own_pops);
+        PopShard::bump(&self.shards[idx].own_pops, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn main_pops(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].main_pops);
+        PopShard::bump(&self.shards[idx].main_pops, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn hp_pops(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].hp_pops);
+        PopShard::bump(&self.shards[idx].hp_pops, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn steals(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].steals);
+        PopShard::bump(&self.shards[idx].steals, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn handoffs(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].handoffs);
+        PopShard::bump(&self.shards[idx].handoffs, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn locality_hits(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].locality_hits);
+        PopShard::bump(&self.shards[idx].locality_hits, self.concurrent);
     }
 
     #[inline]
     pub(crate) fn batch_steals(&self, idx: usize) {
-        PopShard::bump(&self.shards[idx].batch_steals);
+        PopShard::bump(&self.shards[idx].batch_steals, self.concurrent);
     }
 
     pub(crate) fn snapshot(&self) -> StatsSnapshot {

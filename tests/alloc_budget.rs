@@ -13,6 +13,7 @@
 //! | `inout` dependency chain         | 0 (successor links recycle)   |
 //! | fan-out release (1 writer + 12 readers) | 0 (batch buffer + links reused) |
 //! | read+rename churn (version pool) | ≤ 1 (binding traffic)         |
+//! | sharded submitter storm (per-lane pools) | 0 after warmup        |
 //!
 //! The chain and fan-out budgets dropped to **zero** with the
 //! BENCH_0004 completion-side fast path: successor-stack links are
@@ -207,5 +208,46 @@ fn steady_state_spawning_stays_within_the_documented_budget() {
         "rename churn budget is ≤1 allocation per task, measured {} for {}",
         delta,
         tasks
+    );
+
+    // --- sharded spawning: per-lane pools keep submitters at 0 -------
+    // The BENCH_0006 claim: a sharded runtime's per-lane free stacks
+    // recirculate nodes back to the lane that spawned them (home-lane
+    // stamps), so steady-state spawning through `Submitter`s is as
+    // allocation-free as the single spawner's storm above. Submission
+    // happens from this thread through both submitters round-robin —
+    // the budget is a property of the pools, not of which thread drives
+    // them — while the worker drains under the graph-size throttle.
+    const SHARD_TASKS: u64 = 8_192;
+    let rt = Runtime::builder()
+        .threads(2)
+        .shards(2)
+        .graph_size_limit(64)
+        .build();
+    let subs = rt.submitters();
+    let storm = |n: u64| {
+        for i in 0..n {
+            subs[(i % 2) as usize].task("storm").submit(|| {});
+        }
+        rt.barrier();
+    };
+    let delta = measure(|| storm(4_096), || storm(SHARD_TASKS));
+    let st = rt.stats();
+    assert!(
+        st.node_pool_hits > st.tasks_spawned * 9 / 10,
+        "per-lane pools must serve steady-state submitter spawns \
+         (hits={} spawned={})",
+        st.node_pool_hits,
+        st.tasks_spawned
+    );
+    drop(subs);
+    drop(rt);
+    assert!(
+        delta <= SHARD_TASKS / 100,
+        "steady-state multi-submitter spawning must be allocation-free \
+         (documented budget 0/task, per lane), measured {} allocations \
+         for {} tasks",
+        delta,
+        SHARD_TASKS
     );
 }
