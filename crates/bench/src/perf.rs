@@ -38,7 +38,7 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0006";
+pub const BENCH_ID: &str = "BENCH_0007";
 
 /// Locality placement for the suite's runtimes. Every workload builds
 /// its runtime through [`suite_builder`], so setting
@@ -986,6 +986,119 @@ pub fn submit_storm_cfg(
     }
 }
 
+/// Suppress the default panic hook's per-panic report for unwinds that
+/// happen inside `smpss-worker-*` threads: [`panic_storm`] injects
+/// thousands of contained panics per repetition, and printing each one
+/// would swamp the child's stderr (and the clock). Panics on any other
+/// thread — a real harness bug — still print in full.
+fn quiet_worker_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("smpss-worker"));
+            if !in_worker {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Panic storm (BENCH_0007): `tasks/2` *independent* two-task chains
+/// (a writer head and an `inout` tail), with every `PANIC_EVERY`-th
+/// head panicking — at full size that is ~1.9k contained panics per
+/// repetition. The run must survive all of them: each panicked head
+/// still executes the complete completion protocol (stamp, successor
+/// poisoning, pool recycling), its tail is cancelled without running,
+/// every chain not behind a failed head finishes, and `wait_all`
+/// reports the exact failed + cancelled id sets — all asserted after
+/// the clock stops. The rate is total scheduler throughput (executed +
+/// cancelled pops) while failure containment is live; note this
+/// workload runs on the **default build** — the bodies panic directly,
+/// no `fault-inject` hooks involved.
+#[inline(never)]
+pub fn panic_storm(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const PANIC_EVERY: u64 = 8;
+    quiet_worker_panics();
+    let chains = tasks / 2;
+    let failing = chains.div_ceil(PANIC_EVERY);
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = suite_builder(threads).graph_size_limit(512).build();
+        let hs: Vec<_> = (0..chains).map(|_| rt.data(0u64)).collect();
+        let heads_run = Arc::new(AtomicU64::new(0));
+        let tails_run = Arc::new(AtomicU64::new(0));
+        let t0 = Instant::now();
+        for (i, h) in hs.iter().enumerate() {
+            let fails = (i as u64).is_multiple_of(PANIC_EVERY);
+            {
+                let mut sp = rt.task("ps_head");
+                let mut w = sp.write(h);
+                let heads_run = Arc::clone(&heads_run);
+                sp.submit(move || {
+                    if fails {
+                        panic!("ps_head down");
+                    }
+                    *w.get_mut() = 1;
+                    heads_run.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            {
+                let mut sp = rt.task("ps_tail");
+                let mut w = sp.inout(h);
+                let tails_run = Arc::clone(&tails_run);
+                sp.submit(move || {
+                    *w.get_mut() += 1;
+                    tails_run.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        let outcome = rt.wait_all();
+        let secs = t0.elapsed().as_secs_f64();
+
+        // Survival audit (outside the clock). Task ids are 1-based spawn
+        // order: chain i is (head 2i+1, tail 2i+2).
+        let err = outcome.expect_err("the storm injects panics");
+        let expect_failed: Vec<u64> = (0..chains)
+            .filter(|i| i.is_multiple_of(PANIC_EVERY))
+            .map(|i| 2 * i + 1)
+            .collect();
+        let got_failed: Vec<u64> = {
+            let mut v: Vec<u64> = err.failed.iter().map(|f| f.id.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(got_failed, expect_failed, "exact failed set");
+        let expect_cancelled: Vec<u64> =
+            expect_failed.iter().map(|head| head + 1).collect();
+        let got_cancelled: Vec<u64> = {
+            let mut v: Vec<u64> = err.cancelled.iter().map(|c| c.id.0).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(got_cancelled, expect_cancelled, "exact cancelled set");
+        assert_eq!(heads_run.load(Ordering::Relaxed), chains - failing);
+        assert_eq!(tails_run.load(Ordering::Relaxed), chains - failing);
+
+        let st = rt.stats();
+        assert_eq!(st.panics, failing);
+        assert_eq!(st.cancelled, failing);
+        (secs, st.tasks_executed, st)
+    });
+    WorkloadResult {
+        name: format!("panic_storm/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+    }
+}
+
 /// Region stencil sweep (BENCH_0005): `steps` Jacobi waves over an
 /// `n x n` grid in horizontal bands (the §V.A wavefront). Each band of
 /// step `s+1` overlaps three writers of step `s`, so almost every task
@@ -1041,6 +1154,7 @@ pub fn suite_plan(quick: bool) -> Vec<String> {
     plan.push("chain_storm/t8".into());
     plan.push("locality_storm/t8".into());
     plan.push("submit_storm/t8".into());
+    plan.push("panic_storm/t8".into());
     if quick {
         plan.push("stencil_sweep/n34s20/t8".into());
         plan.push("cholesky_hyper/n6/t8".into());
@@ -1095,6 +1209,10 @@ pub fn run_one(name: &str, quick: bool) -> Option<WorkloadResult> {
         "submit_storm" => {
             let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
             submit_storm(t, storm_tasks, reps)
+        }
+        "panic_storm" => {
+            let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
+            panic_storm(t, storm_tasks, reps)
         }
         "stencil_sweep" => {
             let spec = parts.next()?.strip_prefix('n')?;
@@ -1470,6 +1588,18 @@ mod tests {
         }
         assert!(validate(&doc).is_err());
         assert!(validate(&JsonValue::Obj(vec![])).is_err());
+    }
+
+    /// The workload itself asserts the exact failed/cancelled sets and
+    /// panics if containment breaks; this pins the structural counts at
+    /// a size the unit-test budget can afford (400 tasks = 200 chains,
+    /// every 8th head panicking → 25 panics, 25 cancelled tails).
+    #[test]
+    fn panic_storm_survives_and_counts_at_small_scale() {
+        let r = panic_storm(2, 400, 1);
+        assert_eq!(r.tasks, 400, "executed + cancelled pops");
+        assert_eq!(r.counters.panics, 25);
+        assert_eq!(r.counters.cancelled, 25);
     }
 
     #[test]

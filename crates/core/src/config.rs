@@ -19,6 +19,30 @@ pub enum SchedulerPolicy {
     CentralQueue,
 }
 
+/// What the runtime does with the dependents of a task whose body
+/// panicked. The panic itself is always contained: the failed task still
+/// runs the full completion protocol (successors settled, read windows
+/// closed, pools recycled), the scheduler never loses count, and the
+/// failure is reported by [`Runtime::wait_all`](crate::Runtime::wait_all).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OnPanic {
+    /// Cancel every transitive dependent of the failed task: their bodies
+    /// never run (captured bindings are dropped, closing read windows),
+    /// but they complete through the normal protocol so independent
+    /// subgraphs keep running and barriers still drain. The default.
+    #[default]
+    CancelDependents,
+    /// Stop scheduling new bodies runtime-wide after the first panic:
+    /// every task that has not started yet is cancelled, dependent or
+    /// not. Tasks already executing run to completion.
+    FailFast,
+    /// Contain the panic to the failed task only. Dependents still run —
+    /// a renamed output the failed body never wrote holds its
+    /// allocator-fresh (or stale in-place) value, which is memory-safe
+    /// but semantically the caller's responsibility.
+    Isolate,
+}
+
 /// Complete, validated runtime configuration. Build one with
 /// [`Runtime::builder`](crate::Runtime::builder).
 #[derive(Clone, Debug)]
@@ -38,6 +62,7 @@ pub struct RuntimeConfig {
     pub(crate) lockfree_release: bool,
     pub(crate) locality: bool,
     pub(crate) shards: usize,
+    pub(crate) on_panic: OnPanic,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +83,7 @@ impl Default for RuntimeConfig {
             lockfree_release: true,
             locality: true,
             shards: 1,
+            on_panic: OnPanic::CancelDependents,
         }
     }
 }
@@ -209,9 +235,23 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Failure policy for panicking task bodies (default
+    /// [`OnPanic::CancelDependents`]). See [`OnPanic`].
+    pub fn on_panic(mut self, policy: OnPanic) -> Self {
+        self.cfg.on_panic = policy;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
+    }
+
+    /// Like [`build`](Self::build), but surfaces worker-thread spawn
+    /// failure as an error instead of panicking mid-construction. Any
+    /// workers spawned before the failing one are shut down and joined.
+    pub fn try_build(self) -> Result<crate::Runtime, crate::RuntimeBuildError> {
+        crate::Runtime::try_with_config(self.cfg)
     }
 
     /// Access the raw configuration without starting a runtime.
@@ -239,6 +279,16 @@ mod tests {
         assert!(c.lockfree_release);
         assert!(c.locality);
         assert_eq!(c.shards, 1);
+        assert_eq!(c.on_panic, OnPanic::CancelDependents);
+    }
+
+    #[test]
+    fn builder_sets_on_panic() {
+        let c = RuntimeBuilder::default().on_panic(OnPanic::FailFast).config();
+        assert_eq!(c.on_panic, OnPanic::FailFast);
+        let c = RuntimeBuilder::default().on_panic(OnPanic::Isolate).config();
+        assert_eq!(c.on_panic, OnPanic::Isolate);
+        assert_eq!(OnPanic::default(), OnPanic::CancelDependents);
     }
 
     #[test]

@@ -564,8 +564,8 @@ mod tests {
 
     fn finish(n: &Arc<TaskNode>) {
         n.install_body(|| {});
-        n.take_body().run();
-        let _ = n.complete(|_| {});
+        n.take_body().run_in_place();
+        let _ = n.complete(false, |_| {});
     }
 
     type Emitted = Vec<(u64, EdgeKind)>;

@@ -64,6 +64,18 @@ const STATE_PENDING: u8 = 0;
 const STATE_RUNNING: u8 = 1;
 const STATE_FINISHED: u8 = 2;
 
+/// Fault stamp: the task ran (or was skipped) normally.
+const FAULT_NONE: u8 = 0;
+/// Cancellation requested before the body ran (set by a poisoned
+/// producer's completion walk, or at link time against an
+/// already-failed producer). The executing worker observes it, skips
+/// the body, and re-stamps [`FAULT_CANCELLED`].
+const FAULT_CANCEL: u8 = 1;
+/// The body ran and panicked; the panic was contained.
+const FAULT_FAILED: u8 = 2;
+/// The body never ran: the task was cancelled.
+const FAULT_CANCELLED: u8 = 3;
+
 /// Inline body capacity. Sized for the hot spawn paths — a couple of
 /// `Arc`-sized bindings plus scalars (storm/chain/region bodies are
 /// 24-64 bytes) — while keeping the node itself small enough that a
@@ -164,7 +176,13 @@ pub(crate) struct TakenBody {
 }
 
 impl TakenBody {
-    pub(crate) fn run(mut self) {
+    /// Run through `&mut`, leaving the body where it sits. The
+    /// containment wrapper in `run_task` captures the taken body by
+    /// reference: moving `TakenBody` *into* the `catch_unwind` closure
+    /// would memcpy the whole inline buffer into the capture frame on
+    /// every task (the unwind boundary keeps LLVM from eliding it).
+    pub(crate) fn run_in_place(&mut self) {
+        debug_assert!(!self.consumed, "body ran twice");
         // Consumed before the call: if the closure panics it has already
         // been read out of the buffer, so Drop must not touch it again.
         self.consumed = true;
@@ -239,6 +257,15 @@ pub struct TaskNode {
     /// Outstanding dependencies + the spawn guard.
     pub(crate) deps: AtomicUsize,
     pub(crate) state: AtomicU8,
+    /// Fault stamp (`FAULT_*`). All stores are Relaxed: pre-run, the
+    /// only writers are ordered by the deps release chain (a producer's
+    /// `request_cancel` is sequenced before its AcqRel `release_dep`,
+    /// whose release sequence the consumer joins); post-run, the stamp
+    /// is written by the executing worker *before* `complete`'s AcqRel
+    /// close swap / Release finish store, so any thread that observed
+    /// the node finished (or lost the `add_successor_with` race) reads
+    /// a settled value.
+    fault: AtomicU8,
     /// One-shot body slot; see the module docs for the access protocol.
     body: UnsafeCell<BodySlot>,
     /// Head of the successor stack, or [`closed`] once finished.
@@ -293,6 +320,7 @@ impl TaskNode {
             high: AtomicBool::new(priority == Priority::High),
             deps: AtomicUsize::new(1), // spawn guard
             state: AtomicU8::new(STATE_PENDING),
+            fault: AtomicU8::new(FAULT_NONE),
             body: UnsafeCell::new(BodySlot::empty()),
             succs: AtomicPtr::new(ptr::null_mut()),
             ran_on: AtomicU32::new(NO_WORKER),
@@ -324,6 +352,7 @@ impl TaskNode {
         *self.high.get_mut() = priority == Priority::High;
         *self.deps.get_mut() = 1; // spawn guard
         *self.state.get_mut() = STATE_PENDING;
+        *self.fault.get_mut() = FAULT_NONE;
         *self.succs.get_mut() = ptr::null_mut();
         *self.ran_on.get_mut() = NO_WORKER;
         *self.pref.get_mut() = NO_WORKER;
@@ -402,6 +431,47 @@ impl TaskNode {
     #[inline]
     pub(crate) fn home(&self) -> usize {
         self.home.load(Ordering::Relaxed) as usize
+    }
+
+    /// Request that this task be cancelled before its body runs. Only
+    /// meaningful pre-run: callers hold an ordering edge that precedes
+    /// the task's readiness (see the [`fault`](Self::fault) field docs),
+    /// so the only possible prior values are `FAULT_NONE` and
+    /// `FAULT_CANCEL` and a plain store suffices.
+    #[inline]
+    pub(crate) fn request_cancel(&self) {
+        self.fault.store(FAULT_CANCEL, Ordering::Relaxed);
+    }
+
+    /// Was cancellation requested before the body ran?
+    #[inline]
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.fault.load(Ordering::Relaxed) == FAULT_CANCEL
+    }
+
+    /// Stamp this task as failed (body panicked). Executing-worker-side,
+    /// before `complete`'s close swap.
+    #[inline]
+    pub(crate) fn stamp_failed(&self) {
+        self.fault.store(FAULT_FAILED, Ordering::Relaxed);
+    }
+
+    /// Stamp this task as cancelled (body skipped). Executing-worker-
+    /// side, before `complete`'s close swap.
+    #[inline]
+    pub(crate) fn stamp_cancelled(&self) {
+        self.fault.store(FAULT_CANCELLED, Ordering::Relaxed);
+    }
+
+    /// Did this task finish failed or cancelled? Valid once the caller
+    /// has observed the node finished (or lost the successor-
+    /// registration race) — those Acquire edges carry the stamp.
+    #[inline]
+    pub(crate) fn finished_poisoned(&self) -> bool {
+        matches!(
+            self.fault.load(Ordering::Relaxed),
+            FAULT_FAILED | FAULT_CANCELLED
+        )
     }
 
     /// True once the task body has run to completion.
@@ -567,25 +637,36 @@ impl TaskNode {
     /// and may do so freely. Successor `Arc`s that did not become ready
     /// are dropped here, so finished chains do not keep the whole graph
     /// alive.
-    pub(crate) fn complete(&self, on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
+    ///
+    /// With `poison`, every registered successor gets a cancellation
+    /// request stamped before its dependency is released — the
+    /// `OnPanic::CancelDependents` propagation step. A failed or
+    /// cancelled task completes through this same protocol, so the
+    /// scheduler's counts and pools never diverge on failure.
+    pub(crate) fn complete(&self, poison: bool, on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
         let head = self.succs.swap(closed(), Ordering::AcqRel);
         self.state.store(STATE_FINISHED, Ordering::Release);
-        self.release_successors(head, on_ready)
+        self.release_successors(head, poison, on_ready)
     }
 
     /// [`complete`](Self::complete) for a single-threaded runtime: the
     /// main thread is the only registrar and the only completer, so the
     /// list close and the finish flag need no RMW or release ordering.
-    pub(crate) fn complete_single(&self, on_ready: impl FnMut(Arc<TaskNode>)) -> usize {
+    pub(crate) fn complete_single(
+        &self,
+        poison: bool,
+        on_ready: impl FnMut(Arc<TaskNode>),
+    ) -> usize {
         let head = self.succs.load(Ordering::Relaxed);
         self.succs.store(closed(), Ordering::Relaxed);
         self.state.store(STATE_FINISHED, Ordering::Relaxed);
-        self.release_successors(head, on_ready)
+        self.release_successors(head, poison, on_ready)
     }
 
     fn release_successors(
         &self,
         head: *mut SuccNode,
+        poison: bool,
         mut on_ready: impl FnMut(Arc<TaskNode>),
     ) -> usize {
         // The stack is LIFO; reverse it so release order matches
@@ -615,6 +696,11 @@ impl TaskNode {
                 (*p).next = spares;
                 spares = p;
                 p = next;
+                if poison {
+                    // Sequenced before the release_dep below, whose
+                    // release sequence the eventual consumer joins.
+                    succ.request_cancel();
+                }
                 if succ.release_dep() {
                     n_ready += 1;
                     on_ready(succ);
@@ -687,7 +773,7 @@ mod tests {
 
     fn complete_collect(n: &TaskNode) -> Vec<Arc<TaskNode>> {
         let mut ready = Vec::new();
-        let count = n.complete(|s| ready.push(s));
+        let count = n.complete(false, |s| ready.push(s));
         assert_eq!(count, ready.len());
         ready
     }
@@ -711,7 +797,7 @@ mod tests {
         s.retain_dep(); // caller counts the edge
         assert!(!s.release_dep()); // guard release: still 1 outstanding
         p.install_body(|| {});
-        p.take_body().run();
+        p.take_body().run_in_place();
         let ready = complete_collect(&p);
         assert_eq!(ready.len(), 1);
         assert_eq!(ready[0].id(), TaskId(2));
@@ -721,7 +807,7 @@ mod tests {
     fn edge_to_finished_is_skipped() {
         let p = node(1);
         p.install_body(|| {});
-        p.take_body().run();
+        p.take_body().run_in_place();
         let _ = complete_collect(&p);
         let s = node(2);
         assert!(!p.add_successor(&s));
@@ -773,7 +859,7 @@ mod tests {
     fn double_schedule_panics() {
         let n = node(1);
         n.install_body(|| {});
-        n.take_body().run();
+        n.take_body().run_in_place();
         let _ = n.take_body();
     }
 
@@ -786,7 +872,7 @@ mod tests {
         let t = Arc::clone(&token);
         n.install_body(move || drop(t));
         assert_eq!(Arc::strong_count(&token), 2);
-        n.take_body().run();
+        n.take_body().run_in_place();
         assert_eq!(Arc::strong_count(&token), 1);
 
         // Taken but never run: TakenBody's Drop releases the capture.
@@ -815,15 +901,76 @@ mod tests {
         n.install_body(move || {
             o.store(big.iter().map(|&b| b as usize).sum(), Ordering::SeqCst)
         });
-        n.take_body().run();
+        n.take_body().run_in_place();
         assert_eq!(out.load(Ordering::SeqCst), 7 * 256);
+    }
+
+    #[test]
+    fn fault_stamps_round_trip() {
+        let n = node(1);
+        assert!(!n.cancel_requested());
+        assert!(!n.finished_poisoned());
+        n.request_cancel();
+        assert!(n.cancel_requested());
+        assert!(!n.finished_poisoned(), "a pre-run request is not final");
+        n.stamp_cancelled();
+        assert!(!n.cancel_requested());
+        assert!(n.finished_poisoned());
+        let m = node(2);
+        m.stamp_failed();
+        assert!(m.finished_poisoned());
+    }
+
+    #[test]
+    fn poisoned_complete_cancels_successors_in_order() {
+        let p = node(1);
+        let kids: Vec<_> = (2..5).map(node).collect();
+        for k in &kids {
+            assert!(p.add_successor(k));
+            k.retain_dep();
+            assert!(!k.release_dep()); // release the spawn guard
+        }
+        p.stamp_failed();
+        let mut ready = Vec::new();
+        let count = p.complete(true, |s| ready.push(s));
+        assert_eq!(count, 3);
+        let ids: Vec<_> = ready.iter().map(|n| n.id().0).collect();
+        assert_eq!(ids, vec![2, 3, 4], "registration order must hold");
+        for k in &ready {
+            assert!(k.cancel_requested(), "poison must reach every successor");
+        }
+    }
+
+    #[test]
+    fn unpoisoned_complete_leaves_successors_clean() {
+        let p = node(1);
+        let s = node(2);
+        assert!(p.add_successor(&s));
+        s.retain_dep();
+        assert!(!s.release_dep());
+        let ready = complete_collect(&p);
+        assert_eq!(ready.len(), 1);
+        assert!(!ready[0].cancel_requested());
+    }
+
+    #[test]
+    fn reset_clears_fault_stamp() {
+        let mut n = node(1);
+        n.install_body(|| {});
+        n.take_body().run_in_place();
+        n.stamp_failed();
+        let _ = complete_collect(&n);
+        let node = Arc::get_mut(&mut n).expect("sole owner");
+        node.reset_for_reuse(TaskId(9), "again", Priority::Normal);
+        assert!(!n.cancel_requested());
+        assert!(!n.finished_poisoned());
     }
 
     #[test]
     fn reset_for_reuse_rearms_a_finished_node() {
         let mut n = node(1);
         n.install_body(|| {});
-        n.take_body().run();
+        n.take_body().run_in_place();
         let _ = complete_collect(&n);
         let node = Arc::get_mut(&mut n).expect("sole owner");
         node.reset_for_reuse(TaskId(9), "again", Priority::High);
@@ -838,7 +985,7 @@ mod tests {
             r.fetch_add(1, Ordering::SeqCst);
         });
         assert!(n.release_dep()); // spawn guard was re-armed
-        n.take_body().run();
+        n.take_body().run_in_place();
         let _ = complete_collect(&n);
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         assert!(n.is_finished());

@@ -54,6 +54,7 @@
 pub mod config;
 pub mod data;
 pub mod dep;
+pub mod fault;
 pub mod graph;
 pub mod ids;
 pub mod macros;
@@ -63,7 +64,7 @@ pub mod sched;
 pub mod stats;
 pub mod trace;
 
-pub use config::{RuntimeBuilder, RuntimeConfig};
+pub use config::{OnPanic, RuntimeBuilder, RuntimeConfig};
 pub use data::object::Handle;
 pub use data::opaque::Opaque;
 pub use data::region::{Region, RegionBound};
@@ -74,7 +75,11 @@ pub use graph::record::GraphRecord;
 pub use ids::{ObjectId, TaskId};
 pub use runtime::shard::Submitter;
 pub use runtime::spawner::TaskSpawner;
-pub use runtime::{Priority, Runtime};
+pub use runtime::{
+    CancelledTask, Priority, Runtime, RuntimeBuildError, TaskFailure, TaskFailures,
+};
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use sched::TaskSource;
 pub use stats::StatsSnapshot;
 pub use trace::{Event, EventKind, Trace};

@@ -36,6 +36,107 @@ pub enum Priority {
     High,
 }
 
+/// One task whose body panicked. The panic was contained: the task
+/// completed through the normal protocol and the rest of the graph kept
+/// running (subject to the [`OnPanic`](crate::OnPanic) policy).
+pub struct TaskFailure {
+    /// Id of the failed task.
+    pub id: TaskId,
+    /// The task's name (the label passed to [`Runtime::task`]).
+    pub name: &'static str,
+    /// The panic payload exactly as `catch_unwind` captured it.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl TaskFailure {
+    /// The payload as a string when the panic carried one — the common
+    /// `panic!("literal")` and `panic!("{..}", ..)` cases.
+    pub fn payload_str(&self) -> Option<&str> {
+        self.payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| self.payload.downcast_ref::<String>().map(String::as_str))
+    }
+}
+
+impl std::fmt::Debug for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskFailure")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("payload", &self.payload_str().unwrap_or("<non-string payload>"))
+            .finish()
+    }
+}
+
+/// One task whose body never ran because a failure upstream (or a
+/// [`FailFast`](crate::OnPanic::FailFast) trip) cancelled it.
+#[derive(Clone, Debug)]
+pub struct CancelledTask {
+    /// Id of the cancelled task.
+    pub id: TaskId,
+    /// The task's name.
+    pub name: &'static str,
+}
+
+/// Everything that went wrong between two [`Runtime::wait_all`] drains:
+/// the panicked tasks (with payloads) and the tasks cancelled because
+/// of them.
+#[derive(Debug)]
+pub struct TaskFailures {
+    /// Tasks whose bodies panicked, in completion order.
+    pub failed: Vec<TaskFailure>,
+    /// Tasks cancelled without running, in completion order.
+    pub cancelled: Vec<CancelledTask>,
+}
+
+impl std::fmt::Display for TaskFailures {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task(s) panicked, {} cancelled",
+            self.failed.len(),
+            self.cancelled.len()
+        )?;
+        if let Some(first) = self.failed.first() {
+            write!(f, "; first: {} ({:?})", first.name, first.id)?;
+            if let Some(msg) = first.payload_str() {
+                write!(f, ": {msg}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TaskFailures {}
+
+/// A worker thread could not be spawned while constructing a
+/// [`Runtime`]. Returned by [`RuntimeBuilder::try_build`] /
+/// [`Runtime::try_with_config`]; any workers spawned before the failing
+/// one were shut down and joined, so the partial runtime leaks nothing.
+///
+/// [`RuntimeBuilder::try_build`]: crate::RuntimeBuilder::try_build
+#[derive(Debug)]
+pub struct RuntimeBuildError {
+    /// Thread index of the worker that failed to spawn (1-based; 0 is
+    /// the main thread, which always exists).
+    pub worker: usize,
+    /// The underlying OS error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for RuntimeBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not spawn worker thread {}: {}", self.worker, self.source)
+    }
+}
+
+impl std::error::Error for RuntimeBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// State shared between the main thread and the workers.
 pub struct Shared {
     pub(crate) cfg: RuntimeConfig,
@@ -119,6 +220,28 @@ pub struct Shared {
     /// and completion must assume concurrent successor registration even
     /// at `threads == 1`. Derived once at build.
     pub(crate) sharded: bool,
+    /// Latches true on the first failed or cancelled task. The
+    /// `OnPanic::FailFast` probe and [`Submitter::has_failures`]
+    /// (shard.rs stays greppably mutex-free) read only this flag, never
+    /// the registry below. Padded: under `FailFast` it is probed once
+    /// per task.
+    ///
+    /// [`Submitter::has_failures`]: shard::Submitter::has_failures
+    pub(crate) faulted: CachePadded<AtomicBool>,
+    /// Failure registry, drained by [`Runtime::wait_all`]. Mutex-backed
+    /// deliberately: it is written only when a task actually panics or
+    /// is cancelled — never on the healthy fast path — so the lock-free
+    /// pins on completion/shard/version are untouched, and the healthy
+    /// alloc budget stays zero.
+    pub(crate) failures: Mutex<FailureLog>,
+}
+
+/// The failure registry payload: every panicked and every cancelled
+/// task since the last [`Runtime::wait_all`] drain.
+#[derive(Default)]
+pub(crate) struct FailureLog {
+    pub(crate) failed: Vec<TaskFailure>,
+    pub(crate) cancelled: Vec<CancelledTask>,
 }
 
 impl Shared {
@@ -160,7 +283,39 @@ impl Shared {
                 .collect(),
             lanes: (0..shards).map(|_| shard::LaneGate::new()).collect(),
             sharded: shards > 1,
+            faulted: CachePadded::new(AtomicBool::new(false)),
+            failures: Mutex::new(FailureLog::default()),
         }
+    }
+
+    /// Has any task failed or been cancelled since the last drain? One
+    /// Relaxed flag load — safe to probe from anywhere, any frequency.
+    #[inline]
+    pub(crate) fn faulted(&self) -> bool {
+        self.faulted.load(Ordering::Relaxed)
+    }
+
+    /// Record a panicked task. Called by the executing worker after
+    /// stamping the node, before its completion walk.
+    pub(crate) fn note_failed(&self, job: &Job, payload: Box<dyn std::any::Any + Send>) {
+        self.stats.panics();
+        self.faulted.store(true, Ordering::Relaxed);
+        self.failures.lock().failed.push(TaskFailure {
+            id: job.id(),
+            name: job.name(),
+            payload,
+        });
+    }
+
+    /// Record a cancelled task (body skipped). Same call site contract
+    /// as [`note_failed`](Self::note_failed).
+    pub(crate) fn note_cancelled(&self, job: &Job) {
+        self.stats.cancelled();
+        self.faulted.store(true, Ordering::Relaxed);
+        self.failures.lock().cancelled.push(CancelledTask {
+            id: job.id(),
+            name: job.name(),
+        });
     }
 
     /// Shared state without worker threads, for unit tests of the
@@ -386,25 +541,47 @@ impl Runtime {
         RuntimeBuilder::default()
     }
 
-    /// Start a runtime with an explicit configuration.
+    /// Start a runtime with an explicit configuration. Panics if a
+    /// worker thread cannot be spawned; use
+    /// [`try_with_config`](Self::try_with_config) to handle that as an
+    /// error instead.
     pub fn with_config(cfg: RuntimeConfig) -> Self {
+        Self::try_with_config(cfg).unwrap_or_else(|e| panic!("failed to spawn worker thread: {e}"))
+    }
+
+    /// [`with_config`](Self::with_config), but worker-thread spawn
+    /// failure (thread exhaustion, resource limits) returns an error
+    /// instead of panicking mid-construction. On failure, every worker
+    /// spawned before the failing one is signalled to shut down and
+    /// joined before this returns, so nothing leaks.
+    pub fn try_with_config(cfg: RuntimeConfig) -> Result<Self, RuntimeBuildError> {
         let n = cfg.threads;
         let mut locals: Vec<Worker<Job>> = (0..n).map(|_| Worker::new_lifo()).collect();
         let stealers = locals.iter().map(|w| w.stealer()).collect();
         let shared = Arc::new(Shared::build(cfg, stealers));
         let main_local = locals.remove(0);
-        let joins = locals
-            .into_iter()
-            .enumerate()
-            .map(|(i, local)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("smpss-worker-{}", i + 1))
-                    .spawn(move || worker_loop(shared, local, i + 1))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        Runtime {
+        let mut joins = Vec::with_capacity(n - 1);
+        for (i, local) in locals.into_iter().enumerate() {
+            let sh = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("smpss-worker-{}", i + 1))
+                .spawn(move || worker_loop(sh, local, i + 1));
+            match spawned {
+                Ok(j) => joins.push(j),
+                Err(source) => {
+                    // Unwind the partial pool: the already-running
+                    // workers see the shutdown flag on their next idle
+                    // scan (there is no work yet, so that is imminent).
+                    shared.shutdown.store(true, Ordering::Release);
+                    shared.sleep.notify_all();
+                    for j in joins {
+                        let _ = j.join();
+                    }
+                    return Err(RuntimeBuildError { worker: i + 1, source });
+                }
+            }
+        }
+        Ok(Runtime {
             shared,
             main_ctx: RefCell::new(WorkerCtx::new(main_local)),
             finished_seen: Cell::new(0),
@@ -412,7 +589,7 @@ impl Runtime {
             node_cache: RefCell::new(Vec::new()),
             link_cache: RefCell::new(Vec::new()),
             joins,
-        }
+        })
     }
 
     /// Obtain a task node: a recycled one from the pool when possible
@@ -653,6 +830,48 @@ impl Runtime {
         // stashed on a stale "spawner is regularly helping" signal.
         self.throttle_engaged.set(false);
         self.shared.trace_event(0, EventKind::BarrierEnd);
+    }
+
+    /// [`barrier`](Self::barrier) that also reports failures: block
+    /// until every spawned task has finished, then return `Err` if any
+    /// task body panicked — or was cancelled — since the last drain.
+    /// The error carries each failed task's id, name and panic payload,
+    /// and the id/name of every cancelled dependent.
+    ///
+    /// Draining resets the failure state: a second call (with no new
+    /// failures in between) returns `Ok(())`, and an `OnPanic::FailFast`
+    /// runtime resumes scheduling new bodies.
+    ///
+    /// ```
+    /// # use smpss::Runtime;
+    /// let rt = Runtime::builder().threads(2).build();
+    /// let mut sp = rt.task("boom");
+    /// sp.submit(|| panic!("task body failed"));
+    /// let err = rt.wait_all().unwrap_err();
+    /// assert_eq!(err.failed.len(), 1);
+    /// assert_eq!(err.failed[0].payload_str(), Some("task body failed"));
+    /// assert!(rt.wait_all().is_ok(), "drained");
+    /// ```
+    pub fn wait_all(&self) -> Result<(), TaskFailures> {
+        self.barrier();
+        if !self.shared.faulted() {
+            return Ok(());
+        }
+        let log = {
+            let mut log = self.shared.failures.lock();
+            std::mem::take(&mut *log)
+        };
+        // Reset after the drain (not before): the graph is quiescent
+        // post-barrier, so no completion can race the flag here on an
+        // unsharded runtime, and a sharded racer merely re-latches it.
+        self.shared.faulted.store(false, Ordering::Relaxed);
+        if log.failed.is_empty() && log.cancelled.is_empty() {
+            return Ok(());
+        }
+        Err(TaskFailures {
+            failed: log.failed,
+            cancelled: log.cancelled,
+        })
     }
 
     /// Wait until the data named by `h` is produced (the last writer task
@@ -946,6 +1165,15 @@ impl Runtime {
     #[inline]
     pub(crate) fn throttle(&self) {
         let mut engaged = false;
+        // Fault-injection site: a planned forced stall turns this
+        // submit into one help quantum, exactly as if a §III blocking
+        // condition held. Compiles to nothing by default.
+        if crate::fault::throttle_site() {
+            engaged = true;
+            self.shared.stats.throttle_blocks();
+            let _ = self.help_once();
+            self.finish_helping();
+        }
         if let Some(limit) = self.shared.cfg.graph_size_limit {
             // Fast path on the cached finished lower bound: if even the
             // overestimate `spawned - seen` fits the limit, actual

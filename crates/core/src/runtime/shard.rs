@@ -157,6 +157,17 @@ impl Submitter {
     pub fn task(&self, name: &'static str) -> TaskSpawner<'_, Submitter> {
         TaskSpawner::new(self, name)
     }
+
+    /// Has any task failed (body panicked) or been cancelled since the
+    /// runtime's last [`wait_all`](Runtime::wait_all) drain? One Relaxed
+    /// flag load — a producer thread can probe this per submission to
+    /// stop feeding a graph whose downstream already died, without
+    /// waiting for the main thread's barrier. The payloads stay with
+    /// [`wait_all`](Runtime::wait_all); this is only the tripwire.
+    #[inline]
+    pub fn has_failures(&self) -> bool {
+        self.shared.faulted()
+    }
 }
 
 impl SpawnHost for Submitter {

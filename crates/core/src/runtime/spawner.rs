@@ -103,6 +103,11 @@ pub struct TaskSpawner<'rt, H: SpawnHost = Runtime> {
     /// policy, more than one thread): gates the per-parameter hint work
     /// so the ablation/off path pays a single branch.
     locality: bool,
+    /// Cached `cfg.on_panic == CancelDependents`: an edge linked against
+    /// an already-finished **poisoned** producer must cancel this task
+    /// (the completion walk only poisons successors registered before
+    /// the producer finished; this covers spawn-after-failure).
+    poison_new_deps: bool,
     /// Preferred-worker ballot: per-parameter `last_writer` hints
     /// accumulate weight per distinct worker ([`VOTE_SLOTS`] distinct
     /// workers tracked — beyond that, surplus hints are dropped, which
@@ -144,6 +149,7 @@ impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
             record: shared.cfg.record_graph,
             counted_edges: std::cell::Cell::new(0),
             locality: shared.locality_routing,
+            poison_new_deps: shared.cfg.on_panic == crate::config::OnPanic::CancelDependents,
             votes: std::cell::Cell::new([(NO_VOTE, 0); VOTE_SLOTS]),
         }
     }
@@ -366,6 +372,14 @@ impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
             self.rt.release_link(link);
             let became_ready = self.node.release_dep();
             debug_assert!(!became_ready, "spawn guard must still be held");
+            // Spawn-after-failure: the producer completed poisoned
+            // before this edge existed, so the completion walk could
+            // not reach us — propagate the cancellation here. (The
+            // Acquire load that observed the closed list carries the
+            // fault stamp, which was stored before the close swap.)
+            if self.poison_new_deps && producer.finished_poisoned() {
+                self.node.request_cancel();
+            }
         }
     }
 }

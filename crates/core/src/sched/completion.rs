@@ -76,11 +76,18 @@ pub enum Wake {
 /// `claimed_empty` is the caller's private claimed-buffer state: a
 /// non-empty claim means this thread already knows of unfinished work,
 /// so the all-done probe (a cross-shard sum) is skipped outright.
+///
+/// `poison` stamps a cancellation request on every registered successor
+/// as it is released (the `OnPanic::CancelDependents` propagation step);
+/// a failed or cancelled task otherwise completes exactly like a
+/// successful one, so counts, pools and the barrier never diverge.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn finish_task(
     shared: &Shared,
     local: &Worker<Job>,
     idx: usize,
     job: &Job,
+    poison: bool,
     allow_handoff: bool,
     claimed_empty: bool,
     ready: &mut Vec<Job>,
@@ -94,9 +101,9 @@ pub(crate) fn finish_task(
     let single = shared.cfg.threads == 1 && !shared.sharded;
     debug_assert!(ready.is_empty(), "ready buffer must be drained");
     let n_ready = if single {
-        job.complete_single(|s| ready.push(s))
+        job.complete_single(poison, |s| ready.push(s))
     } else {
-        job.complete(|s| ready.push(s))
+        job.complete(poison, |s| ready.push(s))
     };
 
     let mut wake = Wake::None;
@@ -310,9 +317,9 @@ mod tests {
             s.retain_dep();
             assert!(!s.release_dep()); // drop the spawn guard
         }
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         assert_eq!(handoff.expect("fan-out hands off").id(), TaskId(5));
         assert_eq!(wake, Wake::One, "surplus wakes one thief; it propagates");
         // The remaining successors sit in the own list; LIFO pops give
@@ -335,9 +342,9 @@ mod tests {
         assert!(producer.add_successor(&succ));
         succ.retain_dep();
         assert!(!succ.release_dep());
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         assert_eq!(handoff.unwrap().id(), TaskId(2));
         assert_eq!(wake, Wake::None, "a hand-off needs no wake");
         assert!(local.is_empty());
@@ -354,9 +361,9 @@ mod tests {
         assert!(producer.add_successor(&succ));
         succ.retain_dep();
         assert!(!succ.release_dep());
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, false, true, &mut ready);
         assert!(handoff.is_none());
         assert_eq!(wake, Wake::One, "empty-transition push wakes one");
         assert_eq!(local.pop().unwrap().id(), TaskId(2));
@@ -380,9 +387,9 @@ mod tests {
             s.retain_dep();
             assert!(!s.release_dep());
         }
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         // Successor 2 left for mailbox 3; of the local pair {3, 4}, the
         // last (4) is the hand-off and 3 sits on the own list.
         assert_eq!(handoff.expect("local successors hand off").id(), TaskId(4));
@@ -410,9 +417,9 @@ mod tests {
         assert!(producer.add_successor(&succ));
         succ.retain_dep();
         assert!(!succ.release_dep());
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, _) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (handoff, _) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         assert_eq!(handoff.unwrap().id(), TaskId(2));
         assert!(shared.mailboxes[3].is_empty());
         assert_eq!(shared.stats.snapshot().locality_hits, 0);
@@ -444,12 +451,12 @@ mod tests {
         assert!(producer.add_successor(&succ));
         succ.retain_dep();
         assert!(!succ.release_dep());
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
         // Helper path (no hand-off): the successor is pushed onto the
         // non-empty own list — the exact shape that used to lose the
         // wake.
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, false, true, &mut ready);
         assert!(handoff.is_none());
         assert_eq!(
             wake,
@@ -481,9 +488,9 @@ mod tests {
         assert!(producer.add_successor(&succ));
         succ.retain_dep();
         assert!(!succ.release_dep());
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         assert_eq!(handoff.unwrap().id(), TaskId(2));
         assert_eq!(wake, Wake::None, "a hand-off publishes nothing — no wake owed");
         shared.sleep.notify_all();
@@ -501,9 +508,9 @@ mod tests {
         assert!(shared.sharded);
         let local = Worker::new_lifo();
         let producer = ready_node(1);
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (_, _) = finish_task(&shared, &local, 0, &producer, true, true, &mut ready);
+        let (_, _) = finish_task(&shared, &local, 0, &producer, false, true, true, &mut ready);
         // The Release-store accounting (not the single-thread Relaxed
         // branch) must have run; both write shard 0, so the observable
         // pin is the successor list being closed via the AcqRel swap —
@@ -534,9 +541,9 @@ mod tests {
             s.retain_dep();
             assert!(!s.release_dep());
         }
-        producer.take_body().run();
+        producer.take_body().run_in_place();
         let mut ready = Vec::new();
-        let (handoff, wake) = finish_task(&shared, &local, 1, &producer, true, true, &mut ready);
+        let (handoff, wake) = finish_task(&shared, &local, 1, &producer, false, true, true, &mut ready);
         assert!(handoff.is_none(), "legacy path never hands off");
         assert_eq!(wake, Wake::All, "legacy surplus release wakes all");
         assert_eq!(local.len(), 3);

@@ -11,7 +11,7 @@ use super::completion::{finish_task, Wake};
 use super::queues::{
     pop_injector, pop_injector_batch, steal_from, steal_half_from, Job, TaskSource,
 };
-use crate::config::SchedulerPolicy;
+use crate::config::{OnPanic, SchedulerPolicy};
 use crate::runtime::{Priority, Shared};
 use crate::trace::EventKind;
 
@@ -328,12 +328,44 @@ pub fn run_task(
     // stores (no CAS, no RMW, no wakeups — nobody else exists to race
     // or to wake). This is the §III spawner-limited case the paper pins
     // scalability on, so the serial path is kept as lean as possible.
-    let body = if owned || shared.cfg.threads == 1 {
+    let mut body = if owned || shared.cfg.threads == 1 {
         job.take_body_owned()
     } else {
         job.take_body()
     };
-    body.run(); // bindings drop here: read windows close lock-free
+    // Failure containment: a cancelled task's body never runs (dropping
+    // the taken body drops the captured bindings, so read windows still
+    // close lock-free), and a panicking body is caught here — the task
+    // is stamped and completes through the normal protocol below, so
+    // the scheduler never loses count. `catch_unwind` costs nothing on
+    // the non-panic path (a landing pad, no allocation), keeping the
+    // alloc-budget and perf gates intact.
+    // The whole check rides behind one Relaxed load of the runtime-wide
+    // fault flag (false until some task has failed): a cancellation
+    // stamp can only exist after a failure was noted, and the note's
+    // flag store is ordered before the stamp's release edge, so leading
+    // with the flag never misses a stamped node — and the fault-free
+    // hot path pays one always-false padded-line load instead of a
+    // per-node probe plus a policy compare.
+    let skip = shared.faulted()
+        && (job.cancel_requested() || shared.cfg.on_panic == OnPanic::FailFast);
+    let mut poisoned = false;
+    if skip {
+        drop(body); // bindings drop here: read windows close lock-free
+        contain_cancelled(shared, &job);
+        poisoned = true;
+    } else if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::fault::body_site(job.id().0);
+        // By-ref: bindings drop inside; read windows close lock-free.
+        body.run_in_place();
+    })) {
+        contain_failed(shared, &job, payload);
+        poisoned = true;
+    }
+    // CancelDependents propagates through the completion walk below;
+    // FailFast relies on the runtime-wide flag instead, and Isolate
+    // contains the fault to this node.
+    let poison = poisoned && shared.cfg.on_panic == OnPanic::CancelDependents;
     shared.trace_event(idx, EventKind::End(job.id()));
 
     // The completion hand-off is lock-free end to end: `complete`
@@ -346,6 +378,7 @@ pub fn run_task(
         &ctx.local,
         idx,
         &job,
+        poison,
         allow_handoff,
         claimed_empty,
         &mut ctx.ready,
@@ -356,6 +389,24 @@ pub fn run_task(
         Wake::All => shared.sleep.notify_all(),
     }
     (job, handoff)
+}
+
+/// Skip path for a cancelled task: stamp the node, log it. `#[cold]`
+/// keeps the registry call out of `run_task`'s straight-line code.
+#[cold]
+#[inline(never)]
+fn contain_cancelled(shared: &Shared, job: &Job) {
+    job.stamp_cancelled();
+    shared.note_cancelled(job);
+}
+
+/// Containment path for a panicked body: stamp the node, bank the
+/// payload. `#[cold]` for the same reason as [`contain_cancelled`].
+#[cold]
+#[inline(never)]
+fn contain_failed(shared: &Shared, job: &Job, payload: Box<dyn std::any::Any + Send>) {
+    job.stamp_failed();
+    shared.note_failed(job, payload);
 }
 
 /// Body of each spawned worker thread.
@@ -412,7 +463,12 @@ pub fn worker_loop(shared: Arc<Shared>, local: Worker<Job>, idx: usize) {
         } else {
             let micros = shared.cfg.park_micros << parks.min(MAX_PARK_SHIFT);
             parks = parks.saturating_add(1);
-            shared.sleep.park(Duration::from_micros(micros));
+            // Fault-injection site: a planned spurious wake skips the
+            // park entirely, exercising the re-scan path the scheduler
+            // must tolerate anyway. Compiles to nothing by default.
+            if !crate::fault::park_site() {
+                shared.sleep.park(Duration::from_micros(micros));
+            }
         }
     }
 }

@@ -77,6 +77,14 @@ pub struct Stats {
     pub(crate) version_pool_hits: AtomicU64,
     /// Per-thread pop counters, indexed by thread index (0 = main).
     shards: Box<[PopShard]>,
+    /// Task bodies that panicked (contained by `catch_unwind`).
+    /// Completion-side and multi-writer — any worker can catch a panic —
+    /// so bumps are Relaxed `fetch_add`s, never the single-writer
+    /// load+store of the spawner counters.
+    pub(crate) panics: AtomicU64,
+    /// Tasks cancelled without running their body (failure propagation).
+    /// Multi-writer, like `panics`.
+    pub(crate) cancelled: AtomicU64,
     /// Barriers executed.
     pub(crate) barriers: AtomicU64,
     /// Times the main thread blocked on the graph-size limit and helped.
@@ -143,6 +151,8 @@ impl Stats {
             node_pool_hits: AtomicU64::new(0),
             version_pool_hits: AtomicU64::new(0),
             shards: (0..threads.max(1)).map(|_| PopShard::default()).collect(),
+            panics: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
             throttle_blocks: AtomicU64::new(0),
             concurrent: false,
@@ -184,6 +194,20 @@ impl Stats {
         PopShard::bump(&self.shards[idx].batch_steals, self.concurrent);
     }
 
+    /// Completion-side fault counters: always a `fetch_add` — any worker
+    /// can catch a panic or skip a cancelled body, concurrently, so the
+    /// single-writer (or sharded per-thread) bump schemes do not apply.
+    /// Off the healthy hot path: only failing workloads pay the RMW.
+    #[inline]
+    pub(crate) fn panics(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let sum = |f: fn(&PopShard) -> &AtomicU64| self.shards.iter().map(|s| ld(f(s))).sum();
@@ -210,6 +234,8 @@ impl Stats {
             handoffs,
             locality_hits,
             batch_steals,
+            panics: ld(&self.panics),
+            cancelled: ld(&self.cancelled),
             barriers: ld(&self.barriers),
             throttle_blocks: ld(&self.throttle_blocks),
         }
@@ -255,6 +281,16 @@ pub struct StatsSnapshot {
     /// surplus lands in the thief's own list instead of costing one
     /// fenced steal each).
     pub batch_steals: u64,
+    /// Task bodies that panicked; the panics were contained and the
+    /// tasks completed through the normal protocol (see
+    /// [`Runtime::wait_all`](crate::Runtime::wait_all)).
+    pub panics: u64,
+    /// Tasks cancelled without running their body — dependents of a
+    /// failed task under `OnPanic::CancelDependents`, or any not-yet-
+    /// started task after a `FailFast` trip. Cancelled tasks still count
+    /// one pop (`tasks_executed`): they pass through the scheduler like
+    /// any other task.
+    pub cancelled: u64,
     pub barriers: u64,
     pub throttle_blocks: u64,
 }
@@ -315,6 +351,18 @@ mod tests {
         assert_eq!(snap.total_edges(), 1);
         assert_eq!(snap.total_pops(), 1);
         assert_eq!(snap.tasks_executed, 1, "executed derives from pops");
+    }
+
+    #[test]
+    fn fault_counters_bump_concurrently() {
+        let s = Stats::default();
+        assert!(!s.concurrent, "fault bumps must be RMWs even when not");
+        s.panics();
+        s.cancelled();
+        s.cancelled();
+        let snap = s.snapshot();
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.cancelled, 2);
     }
 
     #[test]

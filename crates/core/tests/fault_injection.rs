@@ -1,0 +1,132 @@
+//! Integration tests for the deterministic fault-injection harness
+//! (`--features fault-inject`): a seeded [`FaultPlan`] drives body
+//! panics, forced throttle stalls and spurious wakes through the named
+//! sites in the scheduler, and the failed set is exactly predictable
+//! from the plan alone.
+
+#![cfg(feature = "fault-inject")]
+
+use smpss::{FaultPlan, Runtime};
+use std::collections::BTreeSet;
+
+/// The plan is process-global: serialise the tests that install one and
+/// clear it even if the test body panics.
+static PLAN_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+struct Installed<'a>(#[allow(dead_code)] std::sync::MutexGuard<'a, ()>);
+
+impl<'a> Installed<'a> {
+    fn new(plan: FaultPlan) -> Self {
+        let guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        plan.install();
+        Installed(guard)
+    }
+}
+
+impl Drop for Installed<'_> {
+    fn drop(&mut self) {
+        FaultPlan::clear();
+    }
+}
+
+/// See `failure_semantics.rs`: injected worker panics are the point,
+/// not noise-worthy.
+fn quiet_worker_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("smpss-worker"));
+            if !in_worker {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `n` independent tasks and return the set of task ids `wait_all`
+/// reports as failed.
+fn failed_set(n: u64, threads: usize) -> BTreeSet<u64> {
+    let rt = Runtime::builder().threads(threads).build();
+    let handles: Vec<_> = (0..n).map(|_| rt.data(0i64)).collect();
+    for h in &handles {
+        let mut sp = rt.task("probe");
+        let mut w = sp.write(h);
+        sp.submit(move || *w.get_mut() = 1);
+    }
+    match rt.wait_all() {
+        Ok(()) => BTreeSet::new(),
+        Err(e) => e.failed.iter().map(|f| f.id.0).collect(),
+    }
+}
+
+#[test]
+fn planned_panics_hit_exactly_the_predicted_tasks() {
+    quiet_worker_panics();
+    let plan = FaultPlan::seeded(42).panic_one_in(5);
+    // The failed set is computable on the host before anything runs:
+    // task ids are 1-based spawn order.
+    let expect: BTreeSet<u64> = (1..=64u64).filter(|&i| plan.hits_body(i)).collect();
+    assert!(!expect.is_empty() && expect.len() < 64, "seed sanity");
+
+    let _installed = Installed::new(plan.clone());
+    assert_eq!(failed_set(64, 2), expect);
+    // Determinism: a fresh runtime under the same plan fails the same set.
+    assert_eq!(failed_set(64, 1), expect);
+}
+
+#[test]
+fn explicit_task_list_panics_those_tasks_only() {
+    quiet_worker_panics();
+    let _installed = Installed::new(FaultPlan::seeded(0).panic_tasks([3, 7, 9]));
+    assert_eq!(failed_set(16, 2), [3, 7, 9].into_iter().collect());
+}
+
+#[test]
+fn forced_throttle_stalls_engage_the_throttle_path() {
+    let _installed = Installed::new(FaultPlan::seeded(1).throttle_stalls(3));
+    let rt = Runtime::builder().threads(1).build();
+    let x = rt.data(0i64);
+    for _ in 0..10 {
+        let mut sp = rt.task("inc");
+        let mut w = sp.inout(&x);
+        sp.submit(move || *w.get_mut() += 1);
+    }
+    rt.barrier();
+    assert_eq!(rt.read(&x), 10, "forced stalls never lose work");
+    assert!(
+        rt.stats().throttle_blocks >= 3,
+        "the first 3 spawns were forced through the stall path, got {}",
+        rt.stats().throttle_blocks
+    );
+}
+
+#[test]
+fn spurious_wakes_do_not_perturb_results() {
+    let _installed = Installed::new(FaultPlan::seeded(2).spurious_wake_one_in(2));
+    let rt = Runtime::builder().threads(2).build();
+    let x = rt.data(0i64);
+    for _ in 0..100 {
+        let mut sp = rt.task("inc");
+        let mut w = sp.inout(&x);
+        sp.submit(move || {
+            std::thread::sleep(std::time::Duration::from_micros(20));
+            *w.get_mut() += 1;
+        });
+    }
+    rt.barrier();
+    assert_eq!(rt.read(&x), 100, "every park became a rescan, work intact");
+}
+
+#[test]
+fn cleared_plan_injects_nothing() {
+    quiet_worker_panics();
+    {
+        let _installed = Installed::new(FaultPlan::seeded(42).panic_one_in(2));
+        // Dropped immediately: plan cleared.
+    }
+    let _guard = PLAN_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(failed_set(32, 2).is_empty());
+}
