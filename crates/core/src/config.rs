@@ -43,6 +43,28 @@ pub enum OnPanic {
     Isolate,
 }
 
+/// What a [`Session`](crate::Session) submission does when the session is
+/// at one of its quotas ([`RuntimeBuilder::session_max_in_flight`],
+/// [`RuntimeBuilder::session_max_renamed_bytes`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Wait (bounded spin, then yielding backoff) until the session drops
+    /// below quota, then admit. The default: submission applies real
+    /// backpressure to the submitting thread, exactly like the §III
+    /// blocking conditions do to the single master.
+    #[default]
+    Block,
+    /// Refuse immediately: [`Session::task`](crate::Session::task) returns
+    /// `Err(`[`Overloaded`](crate::Overloaded)`)` **before** any analysis
+    /// happens, so no analysed state is ever silently dropped — the caller
+    /// keeps its closure and data handles and can retry.
+    Shed,
+    /// Block like [`AdmissionPolicy::Block`] until the session's deadline
+    /// ([`Session::with_deadline`](crate::Session::with_deadline)) passes,
+    /// then shed. A session with no deadline behaves like `Block`.
+    Deadline,
+}
+
 /// Complete, validated runtime configuration. Build one with
 /// [`Runtime::builder`](crate::Runtime::builder).
 #[derive(Clone, Debug)]
@@ -63,6 +85,10 @@ pub struct RuntimeConfig {
     pub(crate) locality: bool,
     pub(crate) shards: usize,
     pub(crate) on_panic: OnPanic,
+    pub(crate) sessions: bool,
+    pub(crate) session_max_in_flight: Option<usize>,
+    pub(crate) session_max_renamed_bytes: Option<usize>,
+    pub(crate) admission: AdmissionPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +110,10 @@ impl Default for RuntimeConfig {
             locality: true,
             shards: 1,
             on_panic: OnPanic::CancelDependents,
+            sessions: false,
+            session_max_in_flight: None,
+            session_max_renamed_bytes: None,
+            admission: AdmissionPolicy::Block,
         }
     }
 }
@@ -242,6 +272,46 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Enable the multi-session front door (default: off). With it,
+    /// [`Runtime::session`](crate::Runtime::session) hands out
+    /// [`Session`](crate::Session) handles whose spawns are stamped with
+    /// a session id, admitted against the per-session quotas, and
+    /// cancellable/waitable as a group without disturbing other
+    /// sessions. Implied by any of the quota / admission setters below.
+    /// Sessions ride the sharded analysis lanes, so enabling them on a
+    /// `shards(1)` runtime runs the single lane gated.
+    pub fn sessions(mut self, on: bool) -> Self {
+        self.cfg.sessions = on;
+        self
+    }
+
+    /// Per-session quota on in-flight tasks (spawned but unfinished).
+    /// A session at the quota has further submissions blocked or shed
+    /// according to the [`AdmissionPolicy`]. Implies [`sessions`](Self::sessions).
+    pub fn session_max_in_flight(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a session quota below one task admits nothing");
+        self.cfg.session_max_in_flight = Some(n);
+        self.cfg.sessions = true;
+        self
+    }
+
+    /// Per-session quota on live renamed/version bytes attributed to the
+    /// session's tasks — the session-scoped analogue of
+    /// [`memory_limit`](Self::memory_limit). Implies [`sessions`](Self::sessions).
+    pub fn session_max_renamed_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.session_max_renamed_bytes = Some(bytes);
+        self.cfg.sessions = true;
+        self
+    }
+
+    /// What an over-quota session submission does (default
+    /// [`AdmissionPolicy::Block`]). Implies [`sessions`](Self::sessions).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.cfg.admission = policy;
+        self.cfg.sessions = true;
+        self
+    }
+
     /// Finish configuration and start the runtime (spawns the workers).
     pub fn build(self) -> crate::Runtime {
         crate::Runtime::with_config(self.cfg)
@@ -329,6 +399,36 @@ mod tests {
     fn builder_sets_shards() {
         let c = RuntimeBuilder::default().shards(4).config();
         assert_eq!(c.shards, 4);
+    }
+
+    #[test]
+    fn session_defaults_off() {
+        let c = RuntimeConfig::default();
+        assert!(!c.sessions);
+        assert!(c.session_max_in_flight.is_none());
+        assert!(c.session_max_renamed_bytes.is_none());
+        assert_eq!(c.admission, AdmissionPolicy::Block);
+    }
+
+    #[test]
+    fn session_knobs_imply_sessions() {
+        let c = RuntimeBuilder::default().session_max_in_flight(8).config();
+        assert!(c.sessions);
+        assert_eq!(c.session_max_in_flight, Some(8));
+
+        let c = RuntimeBuilder::default().session_max_renamed_bytes(1 << 20).config();
+        assert!(c.sessions);
+        assert_eq!(c.session_max_renamed_bytes, Some(1 << 20));
+
+        let c = RuntimeBuilder::default().admission(AdmissionPolicy::Shed).config();
+        assert!(c.sessions);
+        assert_eq!(c.admission, AdmissionPolicy::Shed);
+    }
+
+    #[test]
+    #[should_panic(expected = "admits nothing")]
+    fn zero_in_flight_quota_rejected() {
+        let _ = RuntimeBuilder::default().session_max_in_flight(0);
     }
 
     #[test]

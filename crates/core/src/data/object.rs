@@ -10,7 +10,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use super::version::VBuf;
+use super::version::{TicketCharge, VBuf};
 use super::TaskData;
 use crate::graph::node::TaskNode;
 use crate::ids::ObjectId;
@@ -194,10 +194,16 @@ impl<T: TaskData> DataObject<T> {
         }
     }
 
-    /// A fresh version buffer for the renamer, with its memory ticket.
-    pub(crate) fn fresh_version_buf(&self) -> Arc<VBuf<T>> {
-        let ticket =
-            crate::data::version::MemTicket::new(self.version_bytes, Arc::clone(&self.acct));
+    /// A fresh version buffer for the renamer, with its memory ticket
+    /// minted through `charge` (lane credit pre-payment and session
+    /// attribution; [`TicketCharge::NONE`] for the exact single-spawner
+    /// accounting).
+    pub(crate) fn fresh_version_buf(&self, charge: TicketCharge<'_>) -> Arc<VBuf<T>> {
+        let ticket = crate::data::version::MemTicket::new_charged(
+            self.version_bytes,
+            Arc::clone(&self.acct),
+            charge,
+        );
         Arc::new(VBuf::with_ticket((self.alloc)(), ticket))
     }
 
@@ -212,10 +218,14 @@ impl<T: TaskData> DataObject<T> {
     /// a relaxed load; the Acquire fence after a successful probe pairs
     /// with the Release decrement of the last dropped `Arc`, ordering
     /// that reader's final buffer accesses before our reuse.
+    /// A pool hit allocates (and attributes) nothing: the recycled
+    /// buffer keeps its creation-time ticket, so `charge` only applies
+    /// on the fresh-allocation path.
     pub(crate) fn acquire_version(
         &self,
         st: &mut ObjState<T>,
         pool: bool,
+        charge: TicketCharge<'_>,
     ) -> (Arc<VBuf<T>>, bool) {
         if pool {
             for i in (0..st.retired.len()).rev() {
@@ -228,7 +238,7 @@ impl<T: TaskData> DataObject<T> {
                 }
             }
         }
-        (self.fresh_version_buf(), false)
+        (self.fresh_version_buf(charge), false)
     }
 
     /// The renamer's version switch, shared by every renaming branch of
@@ -241,8 +251,9 @@ impl<T: TaskData> DataObject<T> {
         st: &mut ObjState<T>,
         producer: Arc<TaskNode>,
         pool: bool,
+        charge: TicketCharge<'_>,
     ) -> (Arc<VBuf<T>>, Arc<VBuf<T>>, bool) {
-        let (buf, hit) = self.acquire_version(st, pool);
+        let (buf, hit) = self.acquire_version(st, pool, charge);
         let old = std::mem::replace(
             &mut st.current,
             CurrentVersion {

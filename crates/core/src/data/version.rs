@@ -19,11 +19,12 @@
 //! on the buffer — a dependency-analysis or scheduler bug trips an assert in
 //! any build profile rather than silently racing.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use super::TaskData;
+use crate::runtime::session::SessionCtl;
 
 /// Memory-accounting ticket: registers `bytes` against a runtime-wide
 /// counter for as long as the owning version buffer is alive. This is
@@ -34,21 +35,150 @@ use super::TaskData;
 /// account: the spawn throttle (`Runtime::throttle`, and each
 /// `Submitter`'s post-submit wait) observes the *sum* of renamed bytes
 /// across all submitter lanes, never a per-lane undercount.
+///
+/// Lanes may pre-pay the global side through a [`ByteCredit`]
+/// ([`new_charged`](Self::new_charged) with `prepaid == true`): the
+/// creation-time `fetch_add` is skipped because the credit's chunk grab
+/// already registered the bytes. The Drop side always `fetch_sub`s the
+/// global account — symmetric with the chunk grab, never with the
+/// (skipped) per-ticket add — so the invariant is
+/// `live_bytes == Σ live ticket bytes + Σ lane surpluses`.
+///
+/// Tickets minted on behalf of a [`Session`](crate::Session) also carry
+/// the session's byte account: the bytes count against the session's
+/// `session_max_renamed_bytes` quota from creation until Drop.
+/// Attribution is creation-time: a pooled version buffer reused by a
+/// different session keeps its original ticket and hence its original
+/// attribution (the pool hit allocates nothing, so there is nothing new
+/// to attribute).
 pub(crate) struct MemTicket {
     bytes: usize,
     acct: Arc<AtomicUsize>,
+    sess: Option<Arc<SessionCtl>>,
 }
 
 impl MemTicket {
     pub(crate) fn new(bytes: usize, acct: Arc<AtomicUsize>) -> Self {
         acct.fetch_add(bytes, Ordering::AcqRel);
-        MemTicket { bytes, acct }
+        MemTicket {
+            bytes,
+            acct,
+            sess: None,
+        }
+    }
+
+    /// Mint a ticket through a [`TicketCharge`]: the lane credit (if
+    /// any) pre-pays the global account in chunks, and the session (if
+    /// any) is charged its quota-side bytes.
+    pub(crate) fn new_charged(bytes: usize, acct: Arc<AtomicUsize>, charge: TicketCharge<'_>) -> Self {
+        let prepaid = match charge.credit {
+            Some(credit) => credit.cover(bytes),
+            None => false,
+        };
+        if !prepaid {
+            acct.fetch_add(bytes, Ordering::AcqRel);
+        }
+        let sess = charge.sess.map(Arc::clone);
+        if let Some(ctl) = &sess {
+            ctl.add_bytes(bytes);
+        }
+        MemTicket { bytes, acct, sess }
     }
 }
 
 impl Drop for MemTicket {
     fn drop(&mut self) {
         self.acct.fetch_sub(self.bytes, Ordering::AcqRel);
+        if let Some(ctl) = &self.sess {
+            ctl.sub_bytes(self.bytes);
+        }
+    }
+}
+
+/// Spawn-side accounting context for a freshly minted version ticket:
+/// which lane credit (if any) pre-pays the global account, and which
+/// session (if any) the bytes are attributed to. Threaded from the
+/// [`SpawnHost`](crate::runtime::spawner::SpawnHost) through the
+/// analyser's rename calls down to the ticket mint.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct TicketCharge<'a> {
+    pub(crate) credit: Option<&'a ByteCredit>,
+    pub(crate) sess: Option<&'a Arc<SessionCtl>>,
+}
+
+impl TicketCharge<'_> {
+    /// The `Runtime` host's charge: exact per-mint global accounting, no
+    /// session attribution — the pre-session behaviour, bit for bit.
+    pub(crate) const NONE: TicketCharge<'static> = TicketCharge {
+        credit: None,
+        sess: None,
+    };
+}
+
+/// Max bytes a lane credit grabs from the global account in one RMW.
+const CREDIT_CHUNK_CAP: usize = 32 << 10;
+
+/// A lane's chunked pre-payment against the global renamed-bytes
+/// account. One per [`Submitter`](crate::Submitter) (and per
+/// [`Session`](crate::Session), which wraps a lane): instead of one
+/// contended `fetch_add` per renamed version, the lane grabs up to
+/// [`CREDIT_CHUNK_CAP`] bytes at a time and covers subsequent tickets
+/// from the local surplus — a `Cell`, single-threaded like the
+/// `Submitter` itself.
+///
+/// The surplus is real debt against the global account: `live_bytes`
+/// over-reports by exactly the sum of lane surpluses, which errs toward
+/// throttling (safe) and is bounded by `lanes × CREDIT_CHUNK_CAP`. The
+/// surplus is returned by [`release`](Self::release) — called when the
+/// lane hits the memory-limit wait (so the wait observes true bytes)
+/// and unconditionally by Drop, which is what keeps a `Submitter`
+/// dropped mid-graph from leaking its un-returned debt in the global
+/// throttle account forever.
+pub(crate) struct ByteCredit {
+    surplus: Cell<usize>,
+    acct: Arc<AtomicUsize>,
+}
+
+impl ByteCredit {
+    pub(crate) fn new(acct: Arc<AtomicUsize>) -> Self {
+        ByteCredit {
+            surplus: Cell::new(0),
+            acct,
+        }
+    }
+
+    /// Cover a `bytes`-sized ticket from the lane surplus, growing the
+    /// surplus with one chunked global `fetch_add` when it runs dry.
+    /// Always succeeds (returns `true`: the ticket is prepaid).
+    pub(crate) fn cover(&self, bytes: usize) -> bool {
+        let mut s = self.surplus.get();
+        if s < bytes {
+            let grab = bytes.saturating_mul(4).min(CREDIT_CHUNK_CAP).max(bytes);
+            self.acct.fetch_add(grab, Ordering::AcqRel);
+            s += grab;
+        }
+        self.surplus.set(s - bytes);
+        true
+    }
+
+    /// Return the un-spent surplus to the global account.
+    pub(crate) fn release(&self) {
+        let s = self.surplus.replace(0);
+        if s > 0 {
+            self.acct.fetch_sub(s, Ordering::AcqRel);
+        }
+    }
+
+    /// Current un-spent surplus (test observability).
+    #[cfg(test)]
+    pub(crate) fn surplus(&self) -> usize {
+        self.surplus.get()
+    }
+}
+
+impl Drop for ByteCredit {
+    fn drop(&mut self) {
+        self.release();
     }
 }
 
@@ -439,6 +569,63 @@ mod tests {
         }
         let mut w = WriteBinding::new(b, None);
         let _ = w.get_mut(); // must not panic: reader window closed
+    }
+
+    #[test]
+    fn byte_credit_grabs_chunks_and_returns_surplus_on_drop() {
+        let acct = Arc::new(AtomicUsize::new(0));
+        let credit = ByteCredit::new(Arc::clone(&acct));
+        assert!(credit.cover(1000));
+        assert_eq!(acct.load(Ordering::Acquire), 4000, "one 4x chunk grab");
+        assert_eq!(credit.surplus(), 3000);
+        assert!(credit.cover(3000));
+        assert_eq!(acct.load(Ordering::Acquire), 4000, "covered from surplus");
+        assert_eq!(credit.surplus(), 0);
+        assert!(credit.cover(100_000));
+        assert_eq!(
+            acct.load(Ordering::Acquire),
+            104_000,
+            "over-cap mints grab exactly their own size"
+        );
+        assert_eq!(credit.surplus(), 0);
+        assert!(credit.cover(8));
+        let surplus = credit.surplus();
+        assert!(surplus > 0);
+        let before = acct.load(Ordering::Acquire);
+        drop(credit);
+        assert_eq!(
+            acct.load(Ordering::Acquire),
+            before - surplus,
+            "dropping the credit returns the un-spent surplus"
+        );
+    }
+
+    #[test]
+    fn prepaid_ticket_balances_global_account() {
+        let acct = Arc::new(AtomicUsize::new(0));
+        let credit = ByteCredit::new(Arc::clone(&acct));
+        let t = MemTicket::new_charged(
+            100,
+            Arc::clone(&acct),
+            TicketCharge {
+                credit: Some(&credit),
+                sess: None,
+            },
+        );
+        assert_eq!(acct.load(Ordering::Acquire), 400, "chunk grab, no per-ticket add");
+        drop(t);
+        assert_eq!(acct.load(Ordering::Acquire), 300, "ticket drop returns its bytes");
+        drop(credit);
+        assert_eq!(acct.load(Ordering::Acquire), 0, "credit drop returns the surplus");
+    }
+
+    #[test]
+    fn uncharged_ticket_is_exact() {
+        let acct = Arc::new(AtomicUsize::new(0));
+        let t = MemTicket::new_charged(64, Arc::clone(&acct), TicketCharge::NONE);
+        assert_eq!(acct.load(Ordering::Acquire), 64);
+        drop(t);
+        assert_eq!(acct.load(Ordering::Acquire), 0);
     }
 
     #[test]

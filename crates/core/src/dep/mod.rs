@@ -127,7 +127,8 @@ pub(crate) fn write<T: TaskData, H: SpawnHost>(
                 st.current.producer = Some(Arc::clone(sp.node()));
                 WriteBinding::new(Arc::clone(&st.current.buf), None)
             } else {
-                let (buf, _old, hit) = h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
+                let (buf, _old, hit) =
+                    h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool, sp.ticket_charge());
                 pooled_rename = Some(hit);
                 WriteBinding::new(buf, None)
             }
@@ -154,8 +155,12 @@ pub(crate) fn write<T: TaskData, H: SpawnHost>(
             // the same way (renaming is what makes the declaration
             // well-defined).
             sp.stats().renames();
-            let (buf, _old, _) =
-                h.obj.rename_current(&mut st, Arc::clone(sp.node()), sp.version_pooling());
+            let (buf, _old, _) = h.obj.rename_current(
+                &mut st,
+                Arc::clone(sp.node()),
+                sp.version_pooling(),
+                sp.ticket_charge(),
+            );
             WriteBinding::new(buf, None)
         } else {
             st.current.producer = Some(Arc::clone(sp.node()));
@@ -187,7 +192,8 @@ pub(crate) fn inout<T: TaskData, H: SpawnHost>(
         let readers = st.current.buf.window().pending_acquire();
         let binding = if readers > 0 {
             // WAR hazard: rename with deferred copy-in.
-            let (buf, old_buf, hit) = h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool);
+            let (buf, old_buf, hit) =
+                h.obj.rename_current(&mut st, Arc::clone(sp.node()), pool, sp.ticket_charge());
             pooled_rename = Some(hit);
             WriteBinding::new(buf, Some(old_buf))
         } else {
@@ -217,8 +223,12 @@ pub(crate) fn inout<T: TaskData, H: SpawnHost>(
             // with a copy-in so the read half observes the old value.
             sp.stats().renames();
             sp.stats().copy_ins();
-            let (buf, old_buf, _) =
-                h.obj.rename_current(&mut st, Arc::clone(sp.node()), sp.version_pooling());
+            let (buf, old_buf, _) = h.obj.rename_current(
+                &mut st,
+                Arc::clone(sp.node()),
+                sp.version_pooling(),
+                sp.ticket_charge(),
+            );
             WriteBinding::new(buf, Some(old_buf))
         } else {
             st.current.producer = Some(Arc::clone(sp.node()));

@@ -37,10 +37,14 @@ mod imp {
     pub static SMPSS_FAULT_INJECT_HOOKS: [u8; 22] = *b"SMPSS_FAULT_INJECT_ON\0";
 
     static PLAN: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
-    /// Monotone site-invocation counters (throttle, park) for the
-    /// one-in-N decisions; reset on install.
+    /// Monotone site-invocation counters (throttle, park, admission,
+    /// deadline, shed) for the one-in-N / first-N decisions; reset on
+    /// install.
     static THROTTLE_HITS: AtomicU64 = AtomicU64::new(0);
     static PARK_CALLS: AtomicU64 = AtomicU64::new(0);
+    static ADMISSION_HITS: AtomicU64 = AtomicU64::new(0);
+    static DEADLINE_HITS: AtomicU64 = AtomicU64::new(0);
+    static SHED_HITS: AtomicU64 = AtomicU64::new(0);
 
     /// splitmix64: one cheap, statistically solid mix of seed and id.
     fn mix(seed: u64, x: u64) -> u64 {
@@ -64,6 +68,16 @@ mod imp {
         throttle_stalls: u64,
         /// Spuriously wake one park in N (counted per park call).
         spurious_wake_one_in: Option<u64>,
+        /// Force the first N session admission checks to report
+        /// over-quota (stalling Block sessions, shedding Shed ones).
+        admission_stalls: u64,
+        /// Force the first N session deadline probes to report the
+        /// deadline as already passed (deadline-fire race: the probe
+        /// fires while submissions are still arriving).
+        deadline_fires: u64,
+        /// Force the first N Shed-policy admissions to shed even while
+        /// under quota (shed-under-load race).
+        forced_sheds: u64,
     }
 
     impl FaultPlan {
@@ -104,6 +118,29 @@ mod imp {
             self
         }
 
+        /// Force the first `n` session admission checks to see the
+        /// session as over-quota: Block/Deadline sessions stall one
+        /// backoff quantum each, Shed sessions return `Err(Overloaded)`.
+        pub fn admission_stalls(mut self, n: u64) -> Self {
+            self.admission_stalls = n;
+            self
+        }
+
+        /// Force the first `n` session deadline probes to fire as if the
+        /// deadline had already passed, exercising the race between a
+        /// firing deadline and in-flight submissions/dispatches.
+        pub fn deadline_fires(mut self, n: u64) -> Self {
+            self.deadline_fires = n;
+            self
+        }
+
+        /// Force the first `n` Shed-policy admissions to shed even while
+        /// the session is under quota.
+        pub fn forced_sheds(mut self, n: u64) -> Self {
+            self.forced_sheds = n;
+            self
+        }
+
         /// Would this plan panic the body of task `id`? Pure — tests use
         /// it to precompute the expected failed set.
         pub fn hits_body(&self, id: u64) -> bool {
@@ -121,6 +158,9 @@ mod imp {
         pub fn install(self) {
             THROTTLE_HITS.store(0, Ordering::Relaxed);
             PARK_CALLS.store(0, Ordering::Relaxed);
+            ADMISSION_HITS.store(0, Ordering::Relaxed);
+            DEADLINE_HITS.store(0, Ordering::Relaxed);
+            SHED_HITS.store(0, Ordering::Relaxed);
             *PLAN.write().unwrap() = Some(Arc::new(self));
         }
 
@@ -164,10 +204,43 @@ mod imp {
             None => false,
         }
     }
+
+    /// Admission site: `true` forces this session admission check to see
+    /// the session as over-quota.
+    pub fn admission_site() -> bool {
+        match plan() {
+            Some(p) if p.admission_stalls > 0 => {
+                ADMISSION_HITS.fetch_add(1, Ordering::Relaxed) < p.admission_stalls
+            }
+            _ => false,
+        }
+    }
+
+    /// Deadline site: `true` forces this session deadline probe to fire.
+    pub fn deadline_site() -> bool {
+        match plan() {
+            Some(p) if p.deadline_fires > 0 => {
+                DEADLINE_HITS.fetch_add(1, Ordering::Relaxed) < p.deadline_fires
+            }
+            _ => false,
+        }
+    }
+
+    /// Shed site: `true` forces this under-quota Shed admission to shed.
+    pub fn shed_site() -> bool {
+        match plan() {
+            Some(p) if p.forced_sheds > 0 => {
+                SHED_HITS.fetch_add(1, Ordering::Relaxed) < p.forced_sheds
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(feature = "fault-inject")]
-pub use imp::{body_site, park_site, throttle_site, FaultPlan};
+pub use imp::{
+    admission_site, body_site, deadline_site, park_site, shed_site, throttle_site, FaultPlan,
+};
 
 /// Default build: every site is an empty inline function the optimiser
 /// erases — the scheduler carries no fault machinery (see the module
@@ -186,10 +259,25 @@ mod imp {
     pub fn park_site() -> bool {
         false
     }
+
+    #[inline(always)]
+    pub fn admission_site() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn deadline_site() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub fn shed_site() -> bool {
+        false
+    }
 }
 
 #[cfg(not(feature = "fault-inject"))]
-pub use imp::{body_site, park_site, throttle_site};
+pub use imp::{admission_site, body_site, deadline_site, park_site, shed_site, throttle_site};
 
 #[cfg(all(test, feature = "fault-inject"))]
 mod tests {

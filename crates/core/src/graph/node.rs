@@ -302,6 +302,16 @@ pub struct TaskNode {
     /// The node free stack's Release-push / Acquire-drain pair carries
     /// the hand-off ordering.
     spare_links: UnsafeCell<*mut SuccNode>,
+    /// The session this task was admitted under, or null for the
+    /// runtime's own session 0 (plain `Runtime`/`Submitter` spawns, and
+    /// every pre-session build — the common case). Stamped by the
+    /// session's spawn path pre-publication (a plain store the
+    /// publication's Release/Acquire edges carry), nulled on reset. The
+    /// pointee is owned by the runtime's session registry, which lives
+    /// as long as the runtime itself, so dereferencing while the
+    /// runtime is alive is sound; the pointer doubles as the session
+    /// identity (pointer equality == same session).
+    sess_ctl: AtomicPtr<crate::runtime::session::SessionCtl>,
 }
 
 // SAFETY: `body` is written once by the spawning thread before the spawn
@@ -328,6 +338,7 @@ impl TaskNode {
             free_next: AtomicPtr::new(ptr::null_mut()),
             home: AtomicU32::new(0),
             spare_links: UnsafeCell::new(ptr::null_mut()),
+            sess_ctl: AtomicPtr::new(ptr::null_mut()),
         })
     }
 
@@ -357,6 +368,7 @@ impl TaskNode {
         *self.ran_on.get_mut() = NO_WORKER;
         *self.pref.get_mut() = NO_WORKER;
         *self.free_next.get_mut() = ptr::null_mut();
+        *self.sess_ctl.get_mut() = ptr::null_mut();
     }
 
     /// Detach this node's harvested spare-link chain (see
@@ -431,6 +443,36 @@ impl TaskNode {
     #[inline]
     pub(crate) fn home(&self) -> usize {
         self.home.load(Ordering::Relaxed) as usize
+    }
+
+    /// Stamp the owning session (pre-publication plain store; see the
+    /// [`sess_ctl`](Self::sess_ctl) field docs).
+    #[inline]
+    pub(crate) fn set_session_ctl(&self, ctl: *const crate::runtime::session::SessionCtl) {
+        self.sess_ctl.store(ctl.cast_mut(), Ordering::Relaxed);
+    }
+
+    /// Borrow the stamped session control block, if this task belongs to
+    /// a real session. Callers run on a live runtime, whose session
+    /// registry owns the pointee (see the field docs).
+    #[inline]
+    pub(crate) fn session_ctl(&self) -> Option<&crate::runtime::session::SessionCtl> {
+        let p = self.sess_ctl.load(Ordering::Relaxed);
+        if p.is_null() {
+            None
+        } else {
+            // SAFETY: a non-null stamp points into the runtime's session
+            // registry, which outlives every executing task.
+            unsafe { Some(&*p) }
+        }
+    }
+
+    /// Do two tasks belong to the same session? Pointer identity; both
+    /// null (no sessions anywhere) compares equal, which is what keeps
+    /// the pre-session poison walk bit-identical.
+    #[inline]
+    pub(crate) fn same_session(&self, other: &TaskNode) -> bool {
+        self.sess_ctl.load(Ordering::Relaxed) == other.sess_ctl.load(Ordering::Relaxed)
     }
 
     /// Request that this task be cancelled before its body runs. Only
@@ -696,9 +738,17 @@ impl TaskNode {
                 (*p).next = spares;
                 spares = p;
                 p = next;
-                if poison {
+                if poison && succ.same_session(self) {
                     // Sequenced before the release_dep below, whose
                     // release sequence the eventual consumer joins.
+                    // Poison stays inside the failing task's session: a
+                    // cross-session successor keeps running (Isolate
+                    // semantics for the edge — its renamed input holds
+                    // whatever the failed body left, which is memory-
+                    // safe; the blast radius of a tenant's panic is the
+                    // tenant). With no sessions anywhere both stamps
+                    // are null and every successor qualifies, exactly
+                    // the pre-session walk.
                     succ.request_cancel();
                 }
                 if succ.release_dep() {

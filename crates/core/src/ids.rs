@@ -42,6 +42,41 @@ impl fmt::Debug for ObjectId {
     }
 }
 
+/// Identifier of a submission session (one tenant of the multi-session
+/// front door — see [`Session`](crate::Session)).
+///
+/// Session 0 is the runtime itself: tasks spawned through
+/// [`Runtime::task`](crate::Runtime::task) or a bare
+/// [`Submitter`](crate::Submitter) carry it and are subject to no
+/// per-session quota. Real sessions are numbered from 1 in creation
+/// order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SessionId(pub u32);
+
+impl SessionId {
+    /// The runtime's own pseudo-session (no quotas, never cancellable).
+    pub const NONE: SessionId = SessionId(0);
+
+    /// Is this a real tenant session (as opposed to the runtime's own
+    /// unscoped spawns)?
+    #[inline]
+    pub fn is_session(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 /// Index of a compute thread. Thread 0 is the main thread (which helps run
 /// tasks when blocked); threads `1..n` are the spawned workers.
 pub type ThreadIdx = usize;

@@ -64,7 +64,7 @@ pub mod sched;
 pub mod stats;
 pub mod trace;
 
-pub use config::{OnPanic, RuntimeBuilder, RuntimeConfig};
+pub use config::{AdmissionPolicy, OnPanic, RuntimeBuilder, RuntimeConfig};
 pub use data::object::Handle;
 pub use data::opaque::Opaque;
 pub use data::region::{Region, RegionBound};
@@ -72,7 +72,8 @@ pub use data::region_handle::{RegionData, RegionHandle};
 pub use data::representant::Representant;
 pub use data::version::{ReadBinding, WriteBinding};
 pub use graph::record::GraphRecord;
-pub use ids::{ObjectId, TaskId};
+pub use ids::{ObjectId, SessionId, TaskId};
+pub use runtime::session::{Overloaded, OverloadReason, Session};
 pub use runtime::shard::Submitter;
 pub use runtime::spawner::TaskSpawner;
 pub use runtime::{

@@ -1,13 +1,14 @@
 //! The public [`Runtime`]: object creation, task spawning, barriers,
 //! blocking conditions, and runtime introspection.
 
+pub mod session;
 pub mod shard;
 pub mod spawner;
 
 use std::cell::{Cell, RefCell};
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_deque::{Injector, Stealer, Worker};
 use parking_lot::Mutex;
@@ -19,7 +20,7 @@ use crate::data::representant::Representant;
 use crate::data::TaskData;
 use crate::graph::node::{self, SuccNode, TaskNode};
 use crate::graph::record::GraphRecord;
-use crate::ids::{ObjectId, TaskId};
+use crate::ids::{ObjectId, SessionId, TaskId};
 use crate::padded::CachePadded;
 use crate::sched::queues::{Job, SleepCtl};
 use crate::sched::worker::{enqueue_ready, find_task, run_task, worker_loop, WorkerCtx};
@@ -44,6 +45,10 @@ pub struct TaskFailure {
     pub id: TaskId,
     /// The task's name (the label passed to [`Runtime::task`]).
     pub name: &'static str,
+    /// The session the task was spawned under ([`SessionId::NONE`] for
+    /// tasks spawned outside any session, and always so on a runtime
+    /// that never opened one).
+    pub session: SessionId,
     /// The panic payload exactly as `catch_unwind` captured it.
     pub payload: Box<dyn std::any::Any + Send>,
 }
@@ -64,6 +69,7 @@ impl std::fmt::Debug for TaskFailure {
         f.debug_struct("TaskFailure")
             .field("id", &self.id)
             .field("name", &self.name)
+            .field("session", &self.session)
             .field("payload", &self.payload_str().unwrap_or("<non-string payload>"))
             .finish()
     }
@@ -77,6 +83,9 @@ pub struct CancelledTask {
     pub id: TaskId,
     /// The task's name.
     pub name: &'static str,
+    /// The session the task was spawned under ([`SessionId::NONE`]
+    /// outside any session).
+    pub session: SessionId,
 }
 
 /// Everything that went wrong between two [`Runtime::wait_all`] drains:
@@ -234,6 +243,30 @@ pub struct Shared {
     /// pins on completion/shard/version are untouched, and the healthy
     /// alloc budget stays zero.
     pub(crate) failures: Mutex<FailureLog>,
+    /// Construction instant: the time base every session deadline is
+    /// measured against (deadlines store nanoseconds-since-epoch, so a
+    /// worker's expiry probe is one Relaxed `u64` load and a compare —
+    /// no `Instant` arithmetic unless a deadline is actually armed).
+    pub(crate) epoch: Instant,
+    /// Latches true on the first [`Runtime::session`] call. The worker
+    /// skip check and the ticket path probe only this flag before
+    /// touching a node's session slot — the session-less hot path pays
+    /// one always-false padded-line load, the same containment trick as
+    /// [`faulted`](Shared::faulted). Padded: probed once per task.
+    pub(crate) sessions_used: CachePadded<AtomicBool>,
+    /// Session-0 fault flag: the `FailFast` scope for tasks spawned
+    /// *outside* any session once sessions are in play. (`faulted`
+    /// stays the runtime-wide tripwire; this splits its FailFast
+    /// consequence per tenant — see `sched::worker::session_skip`.)
+    pub(crate) faulted0: AtomicBool,
+    /// Session registry: every control block handed out by
+    /// [`Runtime::session`], kept alive for the runtime's lifetime so
+    /// the raw session pointers stamped on task nodes stay valid (see
+    /// `TaskNode::sess_ctl`). Mutex-backed like `failures`: touched at
+    /// session open and at `wait_all`'s fault reset, never per task.
+    pub(crate) sessions: Mutex<Vec<Arc<session::SessionCtl>>>,
+    /// Session id mint (1-based; 0 is [`SessionId::NONE`]).
+    pub(crate) next_session: AtomicU32,
 }
 
 /// The failure registry payload: every panicked and every cancelled
@@ -255,10 +288,15 @@ impl Shared {
         let self_stash = locality_routing
             && (cfg.graph_size_limit.is_some() || cfg.memory_limit.is_some());
         let shards = cfg.shards;
+        // Sessions ride the submitter-lane machinery even at one shard:
+        // each session wraps a lane, so a sessioned runtime is sharded
+        // (concurrent spawners, gated object access, RMW id minting)
+        // regardless of the shard count.
+        let sharded = shards > 1 || cfg.sessions;
         let mut stats = Stats::new(n);
         // Sharded analysis has concurrent spawners: the spawner-side
         // counters switch from single-writer load+store to RMWs.
-        stats.concurrent = shards > 1;
+        stats.concurrent = sharded;
         Shared {
             graph: cfg.record_graph.then(|| Mutex::new(GraphRecord::default())),
             tracer: cfg.tracing.then(|| TraceCollector::new(n)),
@@ -282,9 +320,14 @@ impl Shared {
                 .map(|_| CachePadded::new(AtomicPtr::new(std::ptr::null_mut())))
                 .collect(),
             lanes: (0..shards).map(|_| shard::LaneGate::new()).collect(),
-            sharded: shards > 1,
+            sharded,
             faulted: CachePadded::new(AtomicBool::new(false)),
             failures: Mutex::new(FailureLog::default()),
+            epoch: Instant::now(),
+            sessions_used: CachePadded::new(AtomicBool::new(false)),
+            faulted0: AtomicBool::new(false),
+            sessions: Mutex::new(Vec::new()),
+            next_session: AtomicU32::new(0),
         }
     }
 
@@ -295,14 +338,60 @@ impl Shared {
         self.faulted.load(Ordering::Relaxed)
     }
 
+    /// Has any [`Runtime::session`] been opened? One Relaxed flag load;
+    /// false for the whole lifetime of a session-less runtime.
+    #[inline]
+    pub(crate) fn sessions_used(&self) -> bool {
+        self.sessions_used.load(Ordering::Relaxed)
+    }
+
+    /// Has a task spawned *outside* any session panicked since the last
+    /// drain? (The FailFast scope for session-0 tasks.)
+    #[inline]
+    pub(crate) fn faulted0(&self) -> bool {
+        self.faulted0.load(Ordering::Relaxed)
+    }
+
+    /// Enrol a session control block: keeps the pointee alive for the
+    /// runtime's lifetime (task nodes stamp raw pointers to it) and
+    /// latches the `sessions_used` probe. All registry locking lives
+    /// here so `session.rs` stays under the no-mutex grep.
+    pub(crate) fn register_session(&self, ctl: &Arc<session::SessionCtl>) {
+        self.sessions.lock().push(Arc::clone(ctl));
+        self.sessions_used.store(true, Ordering::Relaxed);
+        self.stats.sessions_opened();
+    }
+
+    /// The session a job was stamped with, for failure records.
+    fn job_session(&self, job: &Job) -> SessionId {
+        if self.sessions_used() {
+            job.session_ctl().map_or(SessionId::NONE, |c| c.id())
+        } else {
+            SessionId::NONE
+        }
+    }
+
     /// Record a panicked task. Called by the executing worker after
     /// stamping the node, before its completion walk.
     pub(crate) fn note_failed(&self, job: &Job, payload: Box<dyn std::any::Any + Send>) {
         self.stats.panics();
         self.faulted.store(true, Ordering::Relaxed);
+        let session = self.job_session(job);
+        // Scope the FailFast consequence to the offending tenant: the
+        // panicking task's own session trips its session flag, a
+        // session-less panic trips the session-0 flag. (Cancellations
+        // below deliberately trip neither — a revoked or past-deadline
+        // session is already shedding via its own probes.)
+        if self.sessions_used() {
+            match job.session_ctl() {
+                Some(ctl) => ctl.set_faulted(),
+                None => self.faulted0.store(true, Ordering::Relaxed),
+            }
+        }
         self.failures.lock().failed.push(TaskFailure {
             id: job.id(),
             name: job.name(),
+            session,
             payload,
         });
     }
@@ -312,10 +401,28 @@ impl Shared {
     pub(crate) fn note_cancelled(&self, job: &Job) {
         self.stats.cancelled();
         self.faulted.store(true, Ordering::Relaxed);
+        let session = self.job_session(job);
         self.failures.lock().cancelled.push(CancelledTask {
             id: job.id(),
             name: job.name(),
+            session,
         });
+    }
+
+    /// Split one session's entries out of the failure registry, leaving
+    /// every other tenant's records in place for `wait_all` (or their
+    /// own `Session::wait`) to report. Called by [`session::Session::wait`].
+    pub(crate) fn drain_session_failures(&self, id: SessionId) -> FailureLog {
+        let mut log = self.failures.lock();
+        let (failed, keep_failed) = std::mem::take(&mut log.failed)
+            .into_iter()
+            .partition(|f: &TaskFailure| f.session == id);
+        log.failed = keep_failed;
+        let (cancelled, keep_cancelled) = std::mem::take(&mut log.cancelled)
+            .into_iter()
+            .partition(|c: &CancelledTask| c.session == id);
+        log.cancelled = keep_cancelled;
+        FailureLog { failed, cancelled }
     }
 
     /// Shared state without worker threads, for unit tests of the
@@ -865,6 +972,16 @@ impl Runtime {
         // post-barrier, so no completion can race the flag here on an
         // unsharded runtime, and a sharded racer merely re-latches it.
         self.shared.faulted.store(false, Ordering::Relaxed);
+        if self.shared.sessions_used() {
+            // Per-tenant FailFast scopes reset with the global drain.
+            // Revocations and fired deadlines stay sticky: a cancelled
+            // or expired session never silently resumes — open a new
+            // one.
+            self.shared.faulted0.store(false, Ordering::Relaxed);
+            for ctl in self.shared.sessions.lock().iter() {
+                ctl.clear_faulted();
+            }
+        }
         if log.failed.is_empty() && log.cancelled.is_empty() {
             return Ok(());
         }

@@ -143,9 +143,29 @@ pub struct Submitter {
     /// Lane-local cache of spare successor links, harvested from
     /// recycled nodes (see `Runtime::link_cache`).
     link_cache: RefCell<Vec<LinkPtr>>,
+    /// Chunked pre-payment against `Shared::live_bytes`: this lane's
+    /// renames are covered from a local surplus instead of one global
+    /// RMW each. The surplus is returned when the lane hits the memory
+    /// throttle and — crucially — by `ByteCredit`'s Drop, so a
+    /// submitter dropped mid-graph never leaks its debt in the global
+    /// throttle account (pinned by the regression test below).
+    pub(crate) credit: crate::data::version::ByteCredit,
 }
 
 impl Submitter {
+    /// One lane of `shared`'s sharded analysis (crate-internal: sessions
+    /// wrap a lane through this same constructor).
+    pub(crate) fn new_lane(shared: Arc<Shared>, lane: usize) -> Submitter {
+        let credit = crate::data::version::ByteCredit::new(Arc::clone(&shared.live_bytes));
+        Submitter {
+            shared,
+            lane,
+            node_cache: RefCell::new(Vec::new()),
+            link_cache: RefCell::new(Vec::new()),
+            credit,
+        }
+    }
+
     /// This submitter's lane index (`0..shards`).
     pub fn lane(&self) -> usize {
         self.lane
@@ -253,6 +273,10 @@ impl SpawnHost for Submitter {
         }
         if let Some(limit) = shared.cfg.memory_limit {
             if shared.live_bytes.load(Ordering::Acquire) > limit && shared.live_now() > 0 {
+                // About to wait on the account: return this lane's
+                // un-spent surplus first, so the wait watches true live
+                // bytes rather than our own pre-payment.
+                self.credit.release();
                 shared.stats.throttle_blocks();
                 while shared.live_bytes.load(Ordering::Acquire) > limit && shared.live_now() > 0 {
                     std::thread::yield_now();
@@ -265,6 +289,14 @@ impl SpawnHost for Submitter {
     fn lane_enter(&self, id: ObjectId) -> Option<LaneEntry<'_>> {
         Some(self.shared.lane_enter(id))
     }
+
+    #[inline]
+    fn ticket_charge(&self) -> crate::data::version::TicketCharge<'_> {
+        crate::data::version::TicketCharge {
+            credit: Some(&self.credit),
+            sess: None,
+        }
+    }
 }
 
 impl Drop for Submitter {
@@ -272,7 +304,8 @@ impl Drop for Submitter {
         // Hand cached nodes back to their lane's shared free stack (a
         // later submitter generation reuses them; `Shared`'s Drop frees
         // whatever remains) and free the spare links, which only this
-        // submitter ever owned.
+        // submitter ever owned. The byte-credit surplus is returned by
+        // the `credit` field's own Drop, which runs after this body.
         for n in self.node_cache.borrow_mut().drain(..) {
             self.shared.recycle_node(n);
         }
@@ -300,12 +333,7 @@ impl Runtime {
             "submitters() requires a sharded runtime: RuntimeBuilder::shards(n) with n >= 2"
         );
         (0..self.shared.cfg.shards)
-            .map(|lane| Submitter {
-                shared: Arc::clone(&self.shared),
-                lane,
-                node_cache: RefCell::new(Vec::new()),
-                link_cache: RefCell::new(Vec::new()),
-            })
+            .map(|lane| Submitter::new_lane(Arc::clone(&self.shared), lane))
             .collect()
     }
 }
@@ -394,5 +422,54 @@ mod tests {
     fn submitter_is_send() {
         fn require_send<T: Send>() {}
         require_send::<Submitter>();
+    }
+
+    /// Regression: a `Submitter` dropped mid-graph with un-returned
+    /// byte-credit surplus must hand the debt back to the global
+    /// throttle account — `live_bytes` may only count live version
+    /// tickets once no lane holds a credit.
+    #[test]
+    fn dropped_submitter_returns_byte_credit_debt() {
+        let rt = Runtime::builder()
+            .threads(2)
+            .shards(2)
+            .version_pool(false)
+            .build();
+        let h = rt.data_sized(vec![0u8; 1024], 1024, || vec![0u8; 1024]);
+        let gate = Arc::new(AtomicBool::new(false));
+        let subs = rt.submitters();
+        {
+            // Producer that stays unfinished until the gate opens, so
+            // the next write sees a non-quiescent current version.
+            let g = Arc::clone(&gate);
+            let mut t = subs[0].task("blocker");
+            let mut w = t.write(&h);
+            t.submit(move || {
+                let _ = w.get_mut();
+                while !g.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            });
+        }
+        {
+            // Forced rename: the fresh version's ticket is covered by
+            // lane 0's credit, leaving a chunk surplus behind.
+            let mut t = subs[0].task("renamer");
+            let mut w = t.write(&h);
+            t.submit(move || {
+                let _ = w.get_mut();
+            });
+        }
+        let surplus = subs[0].credit.surplus();
+        assert!(surplus > 0, "a fresh rename must leave lane surplus");
+        gate.store(true, Ordering::Release);
+        let before = rt.shared.live_bytes.load(Ordering::Acquire);
+        drop(subs);
+        assert_eq!(
+            rt.shared.live_bytes.load(Ordering::Acquire),
+            before - surplus,
+            "dropping the submitters must return exactly the surplus"
+        );
+        rt.barrier();
     }
 }

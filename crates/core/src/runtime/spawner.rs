@@ -33,7 +33,7 @@ use std::sync::Arc;
 use crate::data::object::Handle;
 use crate::data::region::Region;
 use crate::data::region_handle::{RegionData, RegionHandle, RegionReadBinding, RegionWriteBinding};
-use crate::data::version::{ReadBinding, WriteBinding};
+use crate::data::version::{ReadBinding, TicketCharge, WriteBinding};
 use crate::data::TaskData;
 use crate::dep;
 use crate::graph::node::{SuccNode, TaskNode};
@@ -71,6 +71,13 @@ pub(crate) trait SpawnHost {
     /// unsharded runtime: the single spawning thread needs no gate, and
     /// the `shards(1)` path must stay free of it.
     fn lane_enter(&self, id: ObjectId) -> Option<LaneEntry<'_>>;
+    /// How the renamer's fresh version tickets are charged: lane-credit
+    /// pre-payment and/or session attribution. The default is the exact
+    /// per-mint accounting of the single master thread.
+    #[inline]
+    fn ticket_charge(&self) -> TicketCharge<'_> {
+        TicketCharge::NONE
+    }
 }
 
 /// One in-flight task invocation. Create with
@@ -321,6 +328,12 @@ impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
         self.rt.shared().cfg.version_pool
     }
 
+    /// The host's ticket-charging context for this spawn's renames.
+    #[inline]
+    pub(crate) fn ticket_charge(&self) -> TicketCharge<'_> {
+        self.rt.ticket_charge()
+    }
+
     pub(crate) fn stats(&self) -> &Stats {
         &self.rt.shared().stats
     }
@@ -377,10 +390,25 @@ impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
             // not reach us — propagate the cancellation here. (The
             // Acquire load that observed the closed list carries the
             // fault stamp, which was stored before the close swap.)
-            if self.poison_new_deps && producer.finished_poisoned() {
+            // Session-scoped like the completion walk itself: a poisoned
+            // producer from *another* session never cancels this task.
+            if self.poison_new_deps
+                && producer.finished_poisoned()
+                && producer.same_session(&self.node)
+            {
                 self.node.request_cancel();
             }
         }
+    }
+}
+
+#[allow(private_bounds)]
+impl<H: SpawnHost> std::fmt::Debug for TaskSpawner<'_, H> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSpawner")
+            .field("id", &self.node.id())
+            .field("name", &self.node.name())
+            .finish()
     }
 }
 

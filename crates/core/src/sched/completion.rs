@@ -157,6 +157,18 @@ pub(crate) fn finish_task(
             wake = Wake::All;
         }
     }
+
+    // Session completion accounting: a task stamped with a session bumps
+    // its session's `finished` counter with a Release RMW that pairs with
+    // `Session::wait`'s Acquire load, ordering the task's effects before
+    // the waiter proceeds. Gated behind the always-false-until-used
+    // `sessions_used` probe (one Relaxed load, same trick as the fault
+    // probe) so session-less runs never touch the node's session slot.
+    if shared.sessions_used() {
+        if let Some(ctl) = job.session_ctl() {
+            ctl.note_finished();
+        }
+    }
     (handoff, wake)
 }
 

@@ -81,29 +81,36 @@ pub(crate) fn pop_injector(inj: &Injector<Job>) -> Option<Job> {
 /// away from thieves.
 const CLAIM_BATCH: usize = 8;
 
-/// Drain a small batch from an injector into the caller's private
-/// claimed-task buffer with **one** fenced head claim, returning the
-/// first task (`Injector::steal_batch_with_limit_and_collect` in the
-/// deque shim). `claimed` is single-owner and never stolen from, so the
-/// follow-up pops are plain pointer moves — no fence, no CAS — and FIFO
-/// order is the injector's global FIFO order exactly. This is the
-/// batched main-list pop of the completion-side fast path — the
-/// throttled helper and every worker hitting the main list pay one
+/// Drain a small batch from an injector with **one** fenced head
+/// claim, returning the first task and feeding the surplus to `sink`
+/// (`Injector::steal_batch_with_limit_and_collect` in the deque shim).
+/// This is the batched main-list pop of the completion-side fast path —
+/// the throttled helper and every worker hitting the main list pay one
 /// fenced claim per [`CLAIM_BATCH`] tasks instead of one per task —
 /// and, since BENCH_0005, also how a worker drains its own affinity
-/// mailbox (into the separate private `hinted` buffer).
+/// mailbox.
+///
+/// Where the surplus goes is the caller's liveness decision. A private
+/// buffer (plain fence-free pops) is sound only while nobody can starve
+/// on the claimed tasks: a single-thread runtime (no thieves exist), or
+/// the single-tenant model where every body is a terminating compute
+/// kernel. A multi-thread runtime with **sessions** enabled MUST route
+/// the surplus somewhere stealable — tenant bodies may park
+/// indefinitely, and a private buffer would strand the whole batch
+/// behind one blocking body while every other worker idles (the
+/// BENCH_0008 head-of-line hang: a batch-claimer that picked up a
+/// tenant's parked blocker froze the other tenants' already-published
+/// tasks it had claimed alongside).
 pub(crate) fn pop_injector_batch(
     inj: &Injector<Job>,
-    claimed: &mut std::collections::VecDeque<Job>,
+    sink: &mut impl FnMut(Job),
 ) -> Option<Job> {
     if inj.is_empty() {
         return None;
     }
     let mut backoff = Backoff::new();
     loop {
-        match inj.steal_batch_with_limit_and_collect(CLAIM_BATCH, &mut |job| {
-            claimed.push_back(job)
-        }) {
+        match inj.steal_batch_with_limit_and_collect(CLAIM_BATCH, sink) {
             Steal::Success(job) => return Some(job),
             Steal::Empty => return None,
             Steal::Retry => backoff.snooze(),

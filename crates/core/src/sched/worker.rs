@@ -23,21 +23,25 @@ use crate::trace::EventKind;
 pub struct WorkerCtx {
     /// The thread's own ready list (LIFO for the owner, FIFO-stolen).
     pub(crate) local: Worker<Job>,
-    /// Tasks claimed from the main list in a batch but not yet run.
-    /// Private and single-owner — never stolen from — so pops are plain
-    /// pointer moves (no fence, no CAS), and the batch preserves the
-    /// main list's FIFO order exactly; its tasks still count as
-    /// main-list pops. Sits between the own list and the main list in
-    /// the §III lookup order: the batch is logically the front of the
-    /// main list, already claimed.
+    /// Tasks claimed from the main list in a batch but not yet run —
+    /// **single-thread or sessions-off runtimes only**. Private and
+    /// single-owner, so pops are plain pointer moves (no fence, no CAS)
+    /// and the batch preserves the main list's FIFO order exactly; its
+    /// tasks still count as main-list pops. Once the builder enables
+    /// sessions (bodies may park indefinitely) a multi-thread runtime
+    /// spills the batch surplus onto the stealable `local` deque
+    /// instead (see the claim sites in [`find_task`]): a buffer no
+    /// thief can reach would strand the whole batch behind one blocking
+    /// body — the BENCH_0008 head-of-line hang.
     claimed: VecDeque<Job>,
     /// Tasks batch-claimed from this thread's **affinity mailbox** but
-    /// not yet run — the same private single-owner discipline as
-    /// `claimed` (plain pops, no fence), because hint-routed tasks were
-    /// sent *here* on purpose: parking the batch on the stealable own
-    /// deque would pay a SeqCst fence per pop and advertise to thieves
-    /// the very tasks the hint kept away from them. Logically the cold
-    /// end of the own list; its tasks count as own-list pops.
+    /// not yet run — the same private single-owner discipline and the
+    /// same sessions-gated spill as `claimed`. On session runtimes
+    /// advertising hint-routed tasks to thieves costs a little
+    /// placement fidelity (they were sent here on purpose), but the
+    /// mailbox raid in [`find_task`] already concedes that placement
+    /// yields to liveness, and a private batch re-opens exactly the
+    /// stranding the raid exists to prevent.
     /// `finish_helping` republishes leftovers like `pending`/`stash`.
     pub(crate) hinted: VecDeque<Job>,
     /// The spawner's **self-hand-off window** (main context only): a
@@ -151,14 +155,52 @@ pub fn find_task(
             if let Some(job) = ctx.claimed.pop_front() {
                 return Some((job, TaskSource::MainList, false));
             }
+            // Batch claims: one fenced head claim pays for the whole
+            // batch. Where the surplus lands is a policy split:
+            //
+            // - **Private buffers** (plain fence-free pops) whenever the
+            //   claimer can't starve anyone: a single-thread runtime (no
+            //   thieves exist), or a sessions-off runtime — the paper's
+            //   single-tenant model, where task bodies are compute
+            //   kernels assumed to run to completion, so a claimed batch
+            //   is pinned behind at most a few microseconds of work.
+            // - **The claimer's stealable deque** once the builder
+            //   enables sessions: the multi-tenant front door admits
+            //   bodies that may park indefinitely, and a private batch
+            //   would strand one tenant's already-published tasks behind
+            //   another tenant's blocker while the rest of the pool
+            //   idles (the BENCH_0008 head-of-line hang). Isolation
+            //   costs those runtimes one fenced owner pop per surplus
+            //   task — the price of making every claimed task reachable
+            //   without the claimer's cooperation.
+            //
+            // No wake is issued for a spill: the tasks already paid the
+            // enqueue-side wake discipline when they entered the
+            // injector, thieves probe the deque anyway, and a parked
+            // worker re-scans at most one park timeout later — whereas a
+            // futex wake per claimed batch measurably drags every
+            // fine-grain storm on an oversubscribed host.
+            let private_ok = shared.cfg.threads == 1 || !shared.cfg.sessions;
             if shared.locality_routing {
                 // A fresh batched claim from this worker's affinity
-                // mailbox, into the private `hinted` buffer.
-                if let Some(job) = pop_injector_batch(&shared.mailboxes[idx], &mut ctx.hinted) {
+                // mailbox.
+                let job = if private_ok {
+                    pop_injector_batch(&shared.mailboxes[idx], &mut |j| ctx.hinted.push_back(j))
+                } else {
+                    let local = &ctx.local;
+                    pop_injector_batch(&shared.mailboxes[idx], &mut |j| local.push(j))
+                };
+                if let Some(job) = job {
                     return Some((job, TaskSource::OwnList, false));
                 }
             }
-            if let Some(job) = pop_injector_batch(&shared.main_q, &mut ctx.claimed) {
+            let job = if private_ok {
+                pop_injector_batch(&shared.main_q, &mut |j| ctx.claimed.push_back(j))
+            } else {
+                let local = &ctx.local;
+                pop_injector_batch(&shared.main_q, &mut |j| local.push(j))
+            };
+            if let Some(job) = job {
                 return Some((job, TaskSource::MainList, false));
             }
             let n = shared.stealers.len();
@@ -346,9 +388,16 @@ pub fn run_task(
     // flag store is ordered before the stamp's release edge, so leading
     // with the flag never misses a stamped node — and the fault-free
     // hot path pays one always-false padded-line load instead of a
-    // per-node probe plus a policy compare.
-    let skip = shared.faulted()
-        && (job.cancel_requested() || shared.cfg.on_panic == OnPanic::FailFast);
+    // per-node probe plus a policy compare. Sessions add one more
+    // always-false padded-line probe (`sessions_used`, latched by the
+    // first `Runtime::session()` call): session-less runs take the
+    // original branch bit for bit, sessioned runs take the scoped one.
+    let skip = if shared.sessions_used() {
+        session_skip(shared, &job)
+    } else {
+        shared.faulted()
+            && (job.cancel_requested() || shared.cfg.on_panic == OnPanic::FailFast)
+    };
     let mut poisoned = false;
     if skip {
         drop(body); // bindings drop here: read windows close lock-free
@@ -389,6 +438,34 @@ pub fn run_task(
         Wake::All => shared.sleep.notify_all(),
     }
     (job, handoff)
+}
+
+/// Session-aware skip decision, taken only once some session has been
+/// opened (`sessions_used`). Extends the fault-driven skip of the
+/// session-less branch with **session-scoped FailFast** — a panic under
+/// `FailFast` sheds at most the offending session's pending set (a
+/// session task probes its own session's fault flag, a session-less
+/// task probes the session-0 flag) — and adds the two session-driven
+/// skips: revocation (`Session::cancel_all`) and an armed, expired
+/// deadline, which revokes the session on first observation so every
+/// later task of that session skips on the cheap revoked probe.
+fn session_skip(shared: &Shared, job: &Job) -> bool {
+    let ctl = job.session_ctl();
+    if shared.faulted() {
+        if job.cancel_requested() {
+            return true;
+        }
+        if shared.cfg.on_panic == OnPanic::FailFast {
+            let hit = match ctl {
+                Some(c) => c.is_faulted(),
+                None => shared.faulted0(),
+            };
+            if hit {
+                return true;
+            }
+        }
+    }
+    ctl.is_some_and(|c| c.should_skip(shared))
 }
 
 /// Skip path for a cancelled task: stamp the node, log it. `#[cold]`

@@ -89,6 +89,19 @@ pub struct Stats {
     pub(crate) barriers: AtomicU64,
     /// Times the main thread blocked on the graph-size limit and helped.
     pub(crate) throttle_blocks: AtomicU64,
+    /// Sessions opened through `Runtime::session`. Multi-writer
+    /// (sessions are opened from arbitrary threads), like `panics`.
+    pub(crate) sessions_opened: AtomicU64,
+    /// Submissions refused with `Err(Overloaded)` by the admission gate
+    /// (Shed policy, or Deadline past its deadline). Multi-writer.
+    pub(crate) admission_sheds: AtomicU64,
+    /// Submissions that waited at least once at the admission gate
+    /// before being admitted (Block/Deadline backpressure; counts
+    /// waits, not snooze iterations). Multi-writer.
+    pub(crate) admission_waits: AtomicU64,
+    /// Session deadlines that fired — at the admission gate or by
+    /// cancelling already-admitted tasks at dispatch. Multi-writer.
+    pub(crate) deadline_fires: AtomicU64,
     /// Sharded-spawner mode: several submitter lanes bump the
     /// spawn-path counters concurrently, so the single-writer
     /// load+store bumps upgrade to Relaxed `fetch_add`s. False (the
@@ -155,6 +168,10 @@ impl Stats {
             cancelled: AtomicU64::new(0),
             barriers: AtomicU64::new(0),
             throttle_blocks: AtomicU64::new(0),
+            sessions_opened: AtomicU64::new(0),
+            admission_sheds: AtomicU64::new(0),
+            admission_waits: AtomicU64::new(0),
+            deadline_fires: AtomicU64::new(0),
             concurrent: false,
         }
     }
@@ -208,6 +225,29 @@ impl Stats {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Session front-door counters: always `fetch_add` — sessions live on
+    /// arbitrary client threads, several of which can hit the admission
+    /// gate at once. Only session-enabled runtimes ever bump these.
+    #[inline]
+    pub(crate) fn sessions_opened(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn admission_sheds(&self) {
+        self.admission_sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn admission_waits(&self) {
+        self.admission_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn deadline_fires(&self) {
+        self.deadline_fires.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> StatsSnapshot {
         let ld = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let sum = |f: fn(&PopShard) -> &AtomicU64| self.shards.iter().map(|s| ld(f(s))).sum();
@@ -238,6 +278,10 @@ impl Stats {
             cancelled: ld(&self.cancelled),
             barriers: ld(&self.barriers),
             throttle_blocks: ld(&self.throttle_blocks),
+            sessions_opened: ld(&self.sessions_opened),
+            admission_sheds: ld(&self.admission_sheds),
+            admission_waits: ld(&self.admission_waits),
+            deadline_fires: ld(&self.deadline_fires),
         }
     }
 }
@@ -293,6 +337,16 @@ pub struct StatsSnapshot {
     pub cancelled: u64,
     pub barriers: u64,
     pub throttle_blocks: u64,
+    /// Sessions opened through [`Runtime::session`](crate::Runtime::session).
+    pub sessions_opened: u64,
+    /// Submissions refused with `Err(Overloaded)` at the admission gate.
+    pub admission_sheds: u64,
+    /// Submissions that waited at the admission gate before being
+    /// admitted (one per submission that waited, not per backoff spin).
+    pub admission_waits: u64,
+    /// Session deadlines that fired (shed at admission or cancelled at
+    /// dispatch).
+    pub deadline_fires: u64,
 }
 
 impl StatsSnapshot {
@@ -363,6 +417,21 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.panics, 1);
         assert_eq!(snap.cancelled, 2);
+    }
+
+    #[test]
+    fn session_counters_bump_concurrently() {
+        let s = Stats::default();
+        s.sessions_opened();
+        s.admission_sheds();
+        s.admission_sheds();
+        s.admission_waits();
+        s.deadline_fires();
+        let snap = s.snapshot();
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.admission_sheds, 2);
+        assert_eq!(snap.admission_waits, 1);
+        assert_eq!(snap.deadline_fires, 1);
     }
 
     #[test]

@@ -120,6 +120,127 @@ fn spurious_wakes_do_not_perturb_results() {
     assert_eq!(rt.read(&x), 100, "every park became a rescan, work intact");
 }
 
+/// Session site: forced admission stalls. The planned hits read as
+/// over-quota probes, so the first submission takes the Block wait path
+/// (counted once) and then admits — no work is lost, no quota needed.
+#[test]
+fn forced_admission_stalls_engage_the_wait_path() {
+    let _installed = Installed::new(FaultPlan::seeded(3).admission_stalls(3));
+    let rt = Runtime::builder().threads(2).sessions(true).build();
+    let s = rt.session();
+    let x = rt.data(0i64);
+    for _ in 0..10 {
+        let mut sp = s.task("inc").expect("Block admits after the stall");
+        let mut w = sp.inout(&x);
+        sp.submit(move || *w.get_mut() += 1);
+    }
+    s.wait().expect("forced stalls never lose work");
+    assert_eq!(rt.read(&x), 10);
+    assert!(
+        rt.stats().admission_waits >= 1,
+        "the stalled submission must be counted, got {}",
+        rt.stats().admission_waits
+    );
+}
+
+/// Session site: forced sheds under load. Under the `Shed` policy the
+/// planned hits become immediate `Overloaded` refusals — exactly the
+/// planned number, before any analysis, so the admitted work is intact.
+#[test]
+fn forced_sheds_refuse_exactly_the_planned_submissions() {
+    let _installed = Installed::new(FaultPlan::seeded(4).forced_sheds(2));
+    let rt = Runtime::builder()
+        .threads(2)
+        .admission(smpss::AdmissionPolicy::Shed)
+        .build();
+    let s = rt.session();
+    let x = rt.data(0i64);
+    let mut shed = 0u32;
+    for _ in 0..10 {
+        match s.task("inc") {
+            Ok(mut sp) => {
+                let mut w = sp.inout(&x);
+                sp.submit(move || *w.get_mut() += 1);
+            }
+            Err(e) => {
+                assert_eq!(e.session, s.id());
+                shed += 1;
+            }
+        }
+    }
+    assert_eq!(shed, 2, "exactly the planned submissions shed");
+    assert_eq!(rt.stats().admission_sheds, 2);
+    s.wait().expect("admitted work is unaffected");
+    assert_eq!(rt.read(&x), 8);
+}
+
+/// Session site: a deadline-fire race. The session's deadline is armed
+/// far in the future but the plan fires it at the first worker-side
+/// probe — every not-yet-started task of that session cancels (exact
+/// set reported by its `wait`), while another session's work survives.
+#[test]
+fn forced_deadline_fire_cancels_exactly_the_armed_session() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let _installed = Installed::new(FaultPlan::seeded(5).deadline_fires(1));
+    let rt = Runtime::builder().threads(2).sessions(true).build();
+    let s = rt.session();
+    let other = rt.session();
+    let gate = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(AtomicBool::new(false));
+    let h = rt.data(0i64);
+    {
+        let g = Arc::clone(&gate);
+        let st = Arc::clone(&started);
+        let mut sp = s.task("blocker").expect("no quota");
+        let mut w = sp.write(&h);
+        sp.submit(move || {
+            *w.get_mut() = 1;
+            st.store(true, Ordering::Release);
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+    }
+    let outs: Vec<_> = (0..3).map(|_| rt.data(0i64)).collect();
+    let mut pending = std::collections::BTreeSet::new();
+    for o in &outs {
+        let mut sp = s.task("dependent").expect("no quota");
+        pending.insert(sp.id().0);
+        let mut r = sp.read(&h);
+        let mut w = sp.write(o);
+        sp.submit(move || *w.get_mut() = *r.get() + 10);
+    }
+    // Arm only once the blocker is *executing* (it can no longer be
+    // skipped) and *after* submitting, so admission never observes the
+    // fire — only the worker-side probe of a pending dependent can
+    // consume it.
+    while !started.load(Ordering::Acquire) {
+        std::thread::yield_now();
+    }
+    let s = s.with_deadline(std::time::Duration::from_secs(3600));
+    let y = rt.data(0i64);
+    {
+        let mut sp = other.task("survivor").expect("other tenant");
+        let mut w = sp.write(&y);
+        sp.submit(move || *w.get_mut() = 7);
+    }
+    gate.store(true, Ordering::Release);
+    let err = s.wait().expect_err("the fired deadline cancelled the dependents");
+    let cancelled: std::collections::BTreeSet<u64> =
+        err.cancelled.iter().map(|c| c.id.0).collect();
+    assert_eq!(cancelled, pending, "exactly the pending set cancelled");
+    assert!(err.failed.is_empty(), "nothing panicked");
+    assert_eq!(rt.stats().deadline_fires, 1);
+    other.wait().expect("the other session is untouched");
+    assert_eq!(rt.read(&y), 7);
+    assert_eq!(rt.read(&h), 1, "the running blocker completed normally");
+    for o in &outs {
+        assert_eq!(rt.read(o), 0, "cancelled dependents never wrote");
+    }
+}
+
 #[test]
 fn cleared_plan_injects_nothing() {
     quiet_worker_panics();
