@@ -596,8 +596,176 @@ fn ablation_shard() {
     assert_eq!(sharded.tasks, funnel.tasks, "both modes run the same storm");
 }
 
+fn ablation_slab() {
+    use std::time::Instant;
+    println!("\n== Ablation 8: size-classed version slab (global spare pool) ==\n");
+
+    // --- occupancy counters on rename churn, both switch positions ---
+    // The BENCH_0009 shape: read+write pairs force a rename on nearly
+    // every writer. With the slab (default), renamed buffers come from
+    // the global size-classed pool; with `version_slab(false)` the
+    // legacy per-object spares must still serve them — same hit rate,
+    // different store.
+    let churn = |slab: bool| {
+        let pairs = 15_000u64;
+        let rt = Runtime::builder()
+            .threads(1)
+            .graph_size_limit(256)
+            .version_slab(slab)
+            .build();
+        let objs: Vec<_> = (0..64)
+            .map(|_| rt.data_sized(vec![0f32; 64], 256, || vec![0f32; 64]))
+            .collect();
+        let t0 = Instant::now();
+        for i in 0..pairs {
+            let h = &objs[(i % 64) as usize];
+            let mut sp = rt.task("r");
+            let mut r = sp.read(h);
+            sp.submit(move || {
+                std::hint::black_box(r.get()[0]);
+            });
+            let mut sp = rt.task("w");
+            let mut w = sp.write(h);
+            sp.submit(move || w.get_mut()[0] = 1.0);
+        }
+        rt.barrier();
+        let rate = 2.0 * pairs as f64 / t0.elapsed().as_secs_f64();
+        (rate, rt.stats())
+    };
+    let (rate_on, st_on) = churn(true);
+    let (rate_off, st_off) = churn(false);
+    println!(
+        "slab ON : {:>9.0} tasks/s, {} slab hits / {} renames, {} B parked, {} live-evictions",
+        rate_on, st_on.slab_hits, st_on.renames, st_on.slab_parked_bytes, st_on.slab_evicted_live
+    );
+    println!(
+        "slab OFF: {:>9.0} tasks/s, {} slab hits / {} renames ({} per-object hits)",
+        rate_off, st_off.slab_hits, st_off.renames, st_off.version_pool_hits
+    );
+    assert!(st_on.renames > 0 && st_off.renames > 0, "churn must rename");
+    assert!(
+        st_on.slab_hits > st_on.renames * 3 / 4,
+        "the slab must serve steady-state renames (hits={} renames={})",
+        st_on.slab_hits,
+        st_on.renames
+    );
+    assert_eq!(
+        st_on.slab_hits, st_on.version_pool_hits,
+        "on the slab path every pool hit is a slab hit"
+    );
+    assert_eq!(st_off.slab_hits, 0, "a disabled slab must never hit");
+    assert_eq!(st_off.slab_parked_bytes, 0, "a disabled slab holds no bytes");
+    assert!(
+        st_off.version_pool_hits > st_off.renames * 3 / 4,
+        "the legacy per-object spares must still serve the ablation"
+    );
+
+    // --- backpressure: resident bytes vs a working set 8x the limit --
+    let bounded = |slab: bool| {
+        const VERSION: usize = 16 * 1024;
+        const LIMIT: usize = 256 * 1024;
+        let rt = Runtime::builder()
+            .threads(2)
+            .memory_limit(LIMIT)
+            .version_slab(slab)
+            .build();
+        let objs: Vec<_> = (0..8)
+            .map(|_| rt.data_sized(vec![0u8; VERSION], VERSION, || vec![0u8; VERSION]))
+            .collect();
+        for i in 0..400usize {
+            let h = &objs[i % 8];
+            let mut sp = rt.task("r");
+            let mut r = sp.read(h);
+            // A real body (sum the version) keeps the read window open
+            // across the writer's analysis, so the writer renames
+            // instead of reusing in place — the byte churn under test.
+            sp.submit(move || {
+                std::hint::black_box(r.get().iter().map(|&b| b as u64).sum::<u64>());
+            });
+            let mut sp = rt.task("w");
+            let mut w = sp.write(h);
+            sp.submit(move || w.get_mut()[0] = 1);
+        }
+        rt.barrier();
+        let st = rt.stats();
+        let working = st.renames as usize * VERSION + 8 * VERSION;
+        if slab {
+            // Only the slab sustains churn under the throttle: the
+            // legacy path cannot reclaim its ticketed spares, so once
+            // over the limit every submit drains the graph, readers
+            // finish, and writers degrade to in-place reuse (single
+            // digit renames) — the stall-instead-of-churn failure mode
+            // this PR replaces.
+            assert!(
+                working >= 8 * LIMIT,
+                "the slab must sustain churn past the throttle \
+                 (renames={} working={working} limit={LIMIT})",
+                st.renames
+            );
+            assert!(
+                st.version_bytes_peak as usize <= LIMIT + 2 * VERSION,
+                "slab backpressure must hold resident bytes at the throttle \
+                 (peak={} limit={LIMIT})",
+                st.version_bytes_peak
+            );
+        }
+        (st.version_bytes_peak, working)
+    };
+    let (peak_on, working) = bounded(true);
+    let (peak_off, _) = bounded(false);
+    println!(
+        "backpressure (limit 256 KiB, working set {} KiB): peak slab {} KiB, legacy {} KiB",
+        working / 1024,
+        peak_on / 1024,
+        peak_off / 1024
+    );
+
+    // Structural equality: where a renamed buffer comes from must never
+    // change one analysis decision — slab on, slab off and a starved
+    // slab (cap 0: every park evicts mid-run) record identical graphs
+    // and values on one deterministic program.
+    let record = |slab: bool, spare: Option<usize>| {
+        let mut b = Runtime::builder()
+            .threads(1)
+            .version_slab(slab)
+            .record_graph(true);
+        if let Some(cap) = spare {
+            b = b.slab_spare_bytes(cap);
+        }
+        let rt = b.build();
+        let hs: Vec<_> = (0..4).map(|i| rt.data(i as i64)).collect();
+        for i in 0..96usize {
+            let (a, d) = (i % 4, (i * 7 + 1) % 4);
+            let mut sp = rt.task("acc");
+            let mut r = sp.read(&hs[a]);
+            let mut w = sp.inout(&hs[d]);
+            sp.submit(move || *w.get_mut() = w.get_mut().wrapping_add(*r.get()));
+        }
+        rt.barrier();
+        let vals: Vec<i64> = hs.iter().map(|h| rt.read(h)).collect();
+        (vals, rt.graph().unwrap().edges().to_vec())
+    };
+    let base = record(false, None);
+    assert_eq!(
+        record(true, None),
+        base,
+        "slab on/off must record identical graphs"
+    );
+    assert_eq!(
+        record(true, Some(0)),
+        base,
+        "a starved slab (every park evicts) must record identical graphs"
+    );
+    println!("slab on/off/starved recorded-graph equality: ok");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "slab_ablation") {
+        ablation_slab();
+        println!("\nslab ablation checks passed.");
+        return;
+    }
     if args.iter().any(|a| a == "shard_ablation") {
         ablation_shard();
         println!("\nshard ablation checks passed.");
@@ -626,5 +794,6 @@ fn main() {
     ablation_release();
     ablation_locality();
     ablation_shard();
+    ablation_slab();
     println!("\nall ablation checks passed.");
 }

@@ -38,7 +38,7 @@ use crate::perf_baseline;
 /// Trajectory id this tree emits. Bump once per perf PR; the previous
 /// file stays in git history, and `baseline` inside the new file carries
 /// the comparison point forward.
-pub const BENCH_ID: &str = "BENCH_0008";
+pub const BENCH_ID: &str = "BENCH_0009";
 
 /// Locality placement for the suite's runtimes. Every workload builds
 /// its runtime through [`suite_builder`], so setting
@@ -54,10 +54,24 @@ fn perf_locality() -> bool {
     *LOCALITY.get_or_init(|| std::env::var("SMPSS_PERF_LOCALITY").map_or(true, |v| v != "off"))
 }
 
+/// Version store for the suite's runtimes. `SMPSS_PERF_SLAB=off`
+/// selects the pre-BENCH_0009 per-object spares (`version_slab(false)`)
+/// for every suite runtime — which is how the frozen baseline rows,
+/// including `rename_churn`'s, were captured at the pre-change commit.
+/// Cached like [`perf_locality`].
+fn perf_slab() -> bool {
+    static SLAB: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *SLAB.get_or_init(|| std::env::var("SMPSS_PERF_SLAB").map_or(true, |v| v != "off"))
+}
+
 /// The builder every suite workload starts from (threads + the
-/// env-selected locality switch; see [`perf_locality`]).
+/// env-selected locality and version-store switches; see
+/// [`perf_locality`], [`perf_slab`]).
 fn suite_builder(threads: usize) -> RuntimeBuilder {
-    Runtime::builder().threads(threads).locality(perf_locality())
+    Runtime::builder()
+        .threads(threads)
+        .locality(perf_locality())
+        .version_slab(perf_slab())
 }
 
 /// Sharded analysis for `submit_storm`. `SMPSS_PERF_SHARDS=off` selects
@@ -593,6 +607,89 @@ pub fn rename_storm(tasks: u64, reps: usize) -> WorkloadResult {
         tasks_per_sec: executed as f64 / secs,
         counters,
         extra: Vec::new(),
+    }
+}
+
+/// Rename churn against a memory throttle (BENCH_0009): the
+/// `rename_storm` shape, but each version is 64 KiB and the runtime is
+/// capped at 8 MiB of resident version bytes — the run churns a working
+/// set two orders of magnitude past the cap. The slab's job is to hold
+/// resident bytes at the throttle (size-classed reuse, dead-spare
+/// reclaim, spawner stall) without giving up rename throughput; with
+/// `SMPSS_PERF_SLAB=off` the same program runs on the per-object spares
+/// path, which is how the frozen baseline row was captured.
+#[inline(never)]
+pub fn rename_churn(threads: usize, tasks: u64, reps: usize) -> WorkloadResult {
+    const OBJECTS: usize = 32;
+    const BYTES: usize = 64 * 1024;
+    const LIMIT: usize = 8 * 1024 * 1024;
+    let (secs, executed, counters) = best_of(reps, || {
+        let rt = suite_builder(threads).memory_limit(LIMIT).build();
+        let objs: Vec<_> = (0..OBJECTS)
+            .map(|_| rt.data_sized(vec![0u8; BYTES], BYTES, || vec![0u8; BYTES]))
+            .collect();
+        let t0 = Instant::now();
+        for i in 0..(tasks / 2) {
+            let h = &objs[(i as usize) % OBJECTS];
+            {
+                let mut sp = rt.task("rc_read");
+                let mut r = sp.read(h);
+                // A real body (sum the version) keeps the read window
+                // open across the writer's analysis, so the writer
+                // renames instead of reusing in place — without it a
+                // fast worker pool drains readers between the pair's
+                // two submits and the churn evaporates.
+                sp.submit(move || {
+                    std::hint::black_box(r.get().iter().map(|&b| b as u64).sum::<u64>());
+                });
+            }
+            {
+                let mut sp = rt.task("rc_write");
+                let mut w = sp.write(h);
+                sp.submit(move || w.get_mut()[0] = 1);
+            }
+        }
+        rt.barrier();
+        let secs = t0.elapsed().as_secs_f64();
+        let st = rt.stats();
+        // --- Audits, outside the clock. Slab runs only: the legacy
+        // store cannot reclaim its ticketed spares, so once over the
+        // limit every submit drains the graph and writers degrade to
+        // in-place reuse — the baseline row measures that degradation,
+        // it does not promise churn.
+        let working = st.renames as usize * BYTES + OBJECTS * BYTES;
+        if perf_slab() {
+            assert!(
+                working >= 8 * LIMIT,
+                "the slab must sustain churn past the throttle \
+                 (renames={} working={working} limit={LIMIT})",
+                st.renames
+            );
+            // The BENCH_0009 resident-bytes gate: 1.25x the throttle.
+            assert!(
+                st.version_bytes_peak as usize <= LIMIT + LIMIT / 4,
+                "slab backpressure must hold resident bytes at the \
+                 throttle (peak={} limit={LIMIT})",
+                st.version_bytes_peak
+            );
+        }
+        (secs, st.tasks_executed, st)
+    });
+    let peak = counters.version_bytes_peak as f64;
+    let working = (counters.renames as usize * BYTES + OBJECTS * BYTES) as f64;
+    WorkloadResult {
+        name: format!("rename_churn/t{}", threads),
+        threads,
+        tasks: executed,
+        secs,
+        tasks_per_sec: executed as f64 / secs,
+        counters,
+        extra: vec![
+            ("resident_peak_bytes".into(), peak),
+            ("limit_bytes".into(), LIMIT as f64),
+            ("working_set_bytes".into(), working),
+            ("bound_ratio".into(), peak / LIMIT as f64),
+        ],
     }
 }
 
@@ -1416,6 +1513,7 @@ pub fn suite_plan(quick: bool) -> Vec<String> {
     }
     plan.push("spawn_storm/t1".into());
     plan.push("rename_storm/t1".into());
+    plan.push("rename_churn/t4".into());
     plan.push("region_storm/t1".into());
     plan.push("fanout_storm/t8".into());
     plan.push("chain_storm/t8".into());
@@ -1470,6 +1568,10 @@ pub fn run_one(name: &str, quick: bool) -> Option<WorkloadResult> {
         }
         "spawn_storm" => spawn_storm(storm_tasks, reps),
         "rename_storm" => rename_storm(storm_tasks, reps),
+        "rename_churn" => {
+            let t: usize = parts.next()?.strip_prefix('t')?.parse().ok()?;
+            rename_churn(t, storm_tasks, reps.min(3))
+        }
         "region_storm" => region_storm(if quick { 2_048 } else { 16_384 }, reps.min(3)),
         "fanout_storm" => fanout_storm(8, storm_tasks, reps),
         "chain_storm" => chain_storm(8, storm_tasks, reps),

@@ -80,6 +80,8 @@ pub struct RuntimeConfig {
     pub(crate) park_micros: u64,
     pub(crate) node_pool: bool,
     pub(crate) version_pool: bool,
+    pub(crate) version_slab: bool,
+    pub(crate) slab_spare_bytes: Option<usize>,
     pub(crate) indexed_regions: bool,
     pub(crate) lockfree_release: bool,
     pub(crate) locality: bool,
@@ -105,6 +107,8 @@ impl Default for RuntimeConfig {
             park_micros: 100,
             node_pool: true,
             version_pool: true,
+            version_slab: true,
+            slab_spare_bytes: None,
             indexed_regions: true,
             lockfree_release: true,
             locality: true,
@@ -208,6 +212,32 @@ impl RuntimeBuilder {
     /// off position exists for the `spawn_ablation` study.
     pub fn version_pool(mut self, on: bool) -> Self {
         self.cfg.version_pool = on;
+        self
+    }
+
+    /// Route version-buffer pooling through the runtime-wide
+    /// size-classed slab (default: on; only meaningful while
+    /// [`version_pool`](Self::version_pool) is on). With the slab,
+    /// renamed-away versions park in power-of-two size-class shelves
+    /// shared by every object — a hot object reuses spares a cold one
+    /// retired — and the parked bytes are real backpressure: the §III
+    /// memory throttle, the submitter backoff loop and the session
+    /// renamed-bytes probe all reclaim dead spares before waiting. The
+    /// off position keeps the per-object two-spare `retired` list
+    /// exactly, and is the `slab_ablation` baseline.
+    pub fn version_slab(mut self, on: bool) -> Self {
+        self.cfg.version_slab = on;
+        self
+    }
+
+    /// Cap on total bytes the version slab may hold parked as reusable
+    /// spares (default: the [`memory_limit`](Self::memory_limit) if one
+    /// is set, else 64 MiB). Parking past the cap evicts oldest-first;
+    /// an evicted spare that readers still hold keeps its memory ticket
+    /// until the last reader drops, so the live-bytes account stays
+    /// exact regardless of the cap.
+    pub fn slab_spare_bytes(mut self, bytes: usize) -> Self {
+        self.cfg.slab_spare_bytes = Some(bytes);
         self
     }
 
@@ -345,6 +375,8 @@ mod tests {
         assert_eq!(c.policy, SchedulerPolicy::Smpss);
         assert!(c.node_pool);
         assert!(c.version_pool);
+        assert!(c.version_slab);
+        assert!(c.slab_spare_bytes.is_none());
         assert!(c.indexed_regions);
         assert!(c.lockfree_release);
         assert!(c.locality);
@@ -366,15 +398,23 @@ mod tests {
         let c = RuntimeBuilder::default()
             .node_pool(false)
             .version_pool(false)
+            .version_slab(false)
             .indexed_regions(false)
             .lockfree_release(false)
             .locality(false)
             .config();
         assert!(!c.node_pool);
         assert!(!c.version_pool);
+        assert!(!c.version_slab);
         assert!(!c.indexed_regions);
         assert!(!c.lockfree_release);
         assert!(!c.locality);
+    }
+
+    #[test]
+    fn builder_sets_slab_spare_bytes() {
+        let c = RuntimeBuilder::default().slab_spare_bytes(1 << 20).config();
+        assert_eq!(c.slab_spare_bytes, Some(1 << 20));
     }
 
     #[test]

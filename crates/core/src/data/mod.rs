@@ -16,6 +16,8 @@
 //! * [`region`] / [`region_handle`] — the §V.A array-region extension.
 //! * [`opaque`] — `void *`-style parameters that skip dependency analysis.
 //! * [`representant`] — §V.B: dependency-only stand-ins for region sets.
+//! * [`slab`] — the runtime-wide size-classed store renamed-away versions
+//!   park in awaiting reuse (BENCH_0009).
 
 pub mod object;
 pub mod opaque;
@@ -23,6 +25,7 @@ pub mod region;
 pub mod region_handle;
 pub(crate) mod region_log;
 pub mod representant;
+pub(crate) mod slab;
 pub mod version;
 
 #[cfg(test)]

@@ -10,6 +10,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use super::slab::{ReuseKey, VersionSlab};
 use super::version::{TicketCharge, VBuf};
 use super::TaskData;
 use crate::graph::node::TaskNode;
@@ -128,6 +129,10 @@ pub(crate) struct CurrentVersion<T> {
 /// resurrect it instead of allocating.
 pub(crate) struct RetiredVersion<T> {
     pub(crate) buf: Arc<VBuf<T>>,
+    /// Monotonic stamp from [`ObjState::retire_clock`]: eviction picks
+    /// the minimum, so `swap_remove`'s order scrambling never changes
+    /// which entry counts as oldest.
+    pub(crate) age: u64,
 }
 
 /// Retired versions kept beyond the reusable spares; pushing past this
@@ -144,8 +149,13 @@ pub(crate) struct ObjState<T> {
     /// Unfinished readers of the current version — only maintained when
     /// renaming is disabled, to generate anti-dependency edges instead.
     pub(crate) readers_list: Vec<Arc<TaskNode>>,
-    /// The version-buffer pool: renamed-away versions awaiting reuse.
+    /// The per-object version-buffer pool: renamed-away versions
+    /// awaiting reuse. Only populated on the legacy path (slab ablated
+    /// off via [`version_slab(false)`](crate::RuntimeBuilder::version_slab));
+    /// with the slab, displaced versions park runtime-wide instead.
     pub(crate) retired: Vec<RetiredVersion<T>>,
+    /// Age stamps for `retired` (see [`RetiredVersion::age`]).
+    pub(crate) retire_clock: u64,
     /// Locality hint: worker that ran the last *finished* writer of
     /// this object ([`HINT_NONE`](crate::graph::node::HINT_NONE) until
     /// one is observed). A plain field in the spawner-owned cell — the
@@ -165,6 +175,15 @@ pub(crate) struct DataObject<T: TaskData> {
     pub(crate) version_bytes: usize,
     /// Runtime-wide live-version byte counter.
     pub(crate) acct: Arc<AtomicUsize>,
+    /// The runtime-wide version slab; `None` keeps the legacy
+    /// per-object `retired` spares exactly (the `slab_ablation`
+    /// baseline).
+    slab: Option<Arc<VersionSlab>>,
+    /// This object's slab bucket: shared scope when the declared byte
+    /// size is an exact shape contract (`data_sized`), private scope
+    /// otherwise — see [`ReuseKey`] for why that distinction is load-
+    /// bearing.
+    reuse_key: ReuseKey,
     pub(crate) state: SpawnerCell<ObjState<T>>,
 }
 
@@ -175,13 +194,25 @@ impl<T: TaskData> DataObject<T> {
         alloc: Box<dyn Fn() -> T + Send + Sync>,
         version_bytes: usize,
         acct: Arc<AtomicUsize>,
+        slab: Option<Arc<VersionSlab>>,
+        shape_exact: bool,
     ) -> Self {
         let ticket = crate::data::version::MemTicket::new(version_bytes, Arc::clone(&acct));
+        if let Some(slab) = &slab {
+            slab.note_peak(acct.load(Ordering::Acquire));
+        }
+        let reuse_key = if shape_exact {
+            ReuseKey::shared::<VBuf<T>>(version_bytes)
+        } else {
+            ReuseKey::owned::<VBuf<T>>(version_bytes, id.0)
+        };
         DataObject {
             id,
             alloc,
             version_bytes,
             acct,
+            slab,
+            reuse_key,
             state: SpawnerCell::new(ObjState {
                 current: CurrentVersion {
                     buf: Arc::new(VBuf::with_ticket(value, ticket)),
@@ -189,6 +220,7 @@ impl<T: TaskData> DataObject<T> {
                 },
                 readers_list: Vec::new(),
                 retired: Vec::new(),
+                retire_clock: 0,
                 last_writer: crate::graph::node::HINT_NONE,
             }),
         }
@@ -204,6 +236,9 @@ impl<T: TaskData> DataObject<T> {
             Arc::clone(&self.acct),
             charge,
         );
+        if let Some(slab) = &self.slab {
+            slab.note_peak(self.acct.load(Ordering::Acquire));
+        }
         Arc::new(VBuf::with_ticket((self.alloc)(), ticket))
     }
 
@@ -246,6 +281,7 @@ impl<T: TaskData> DataObject<T> {
     /// `producer` as its writer and park the displaced one in the pool.
     /// Returns `(new buffer, displaced buffer, pool hit?)` — the
     /// displaced buffer is what a renamed `inout` copies in from.
+    #[inline]
     pub(crate) fn rename_current(
         &self,
         st: &mut ObjState<T>,
@@ -253,6 +289,11 @@ impl<T: TaskData> DataObject<T> {
         pool: bool,
         charge: TicketCharge<'_>,
     ) -> (Arc<VBuf<T>>, Arc<VBuf<T>>, bool) {
+        if pool {
+            if let Some(slab) = &self.slab {
+                return self.rename_via_slab(st, producer, slab, charge);
+            }
+        }
         let (buf, hit) = self.acquire_version(st, pool, charge);
         let old = std::mem::replace(
             &mut st.current,
@@ -265,17 +306,80 @@ impl<T: TaskData> DataObject<T> {
         retire_version(st, old.buf, pool);
         (buf, old_buf, hit)
     }
+
+    /// The slab-backed version switch: probe for a dead same-shape
+    /// spare and park the displaced current version in **one** shelf
+    /// gate entry ([`VersionSlab::begin`] + `ShelfGuard::park`);
+    /// allocate only on a miss (gate released first, so a slow `alloc`
+    /// never stalls other renamers of the class). Parking moves the
+    /// displaced `Arc` instead of cloning it — refcount parity with the
+    /// legacy in-cell pool. The caller's copy-in clone is taken before
+    /// the park, so the parked entry's strong count stays ≥ 2 until the
+    /// rename is fully wired and a concurrent probe can never see it
+    /// dead early — deadness is strictly "only the slab holds it".
+    #[inline(always)]
+    fn rename_via_slab(
+        &self,
+        st: &mut ObjState<T>,
+        producer: Arc<TaskNode>,
+        slab: &Arc<VersionSlab>,
+        charge: TicketCharge<'_>,
+    ) -> (Arc<VBuf<T>>, Arc<VBuf<T>>, bool) {
+        let (guard, found) = slab.begin(self.reuse_key);
+        let (buf, hit) = match found {
+            Some(any) => {
+                // SAFETY: the probe only returns entries whose `ReuseKey`
+                // equals ours, and the key carries `TypeId::of::<VBuf<T>>()`
+                // (set in `Runtime::{data, data_sized, data_with_alloc}`),
+                // so the erased type is exactly `VBuf<T>`. This is
+                // `Arc::downcast` minus its virtual `type_id` re-check,
+                // which the key equality already performed under the gate.
+                let buf = unsafe {
+                    Arc::from_raw(Arc::into_raw(any) as *const VBuf<T>)
+                };
+                buf.window().reset_for_reuse();
+                (buf, true)
+            }
+            None => {
+                drop(guard);
+                let buf = self.fresh_version_buf(charge);
+                let old = std::mem::replace(
+                    &mut st.current,
+                    CurrentVersion {
+                        buf: Arc::clone(&buf),
+                        producer: Some(producer),
+                    },
+                );
+                let old_buf = Arc::clone(&old.buf);
+                slab.park_displaced(self.reuse_key, old.buf as _);
+                return (buf, old_buf, false);
+            }
+        };
+        let old = std::mem::replace(
+            &mut st.current,
+            CurrentVersion {
+                buf: Arc::clone(&buf),
+                producer: Some(producer),
+            },
+        );
+        let old_buf = Arc::clone(&old.buf);
+        guard.park(self.reuse_key, old.buf as _);
+        (buf, old_buf, hit)
+    }
 }
 
-/// Park a displaced version in the object's pool (renaming just replaced
-/// it as the current version). The pool is capped **strictly** at
-/// [`RETIRED_SPARES`] entries: beyond that, dead entries are evicted
-/// first (their ticket drop releases the bytes immediately), then the
-/// oldest live ones — an evicted live entry simply reverts to the
-/// pre-pool lifecycle, dying (and releasing its ticket) when its last
-/// reader binding drops. The strict cap is what keeps the §III
-/// renamed-bytes account honest: an object that stops renaming can
-/// never hoard more than the spare budget.
+/// Park a displaced version in the object's legacy per-object pool
+/// (renaming just replaced it as the current version; with the slab on,
+/// [`DataObject::rename_current`] parks runtime-wide instead and never
+/// comes here). The pool is capped **strictly** at [`RETIRED_SPARES`]
+/// entries: beyond that, dead entries are evicted first (their ticket
+/// drop releases the bytes immediately), then the minimum-age live one —
+/// an evicted live entry simply reverts to the pre-pool lifecycle: its
+/// memory ticket travels inside the buffer, so the bytes stay charged
+/// until the last reader binding drops and the §III account is exact
+/// throughout (pinned by `live_eviction_keeps_the_account_exact` in
+/// `tests/slab_semantics.rs`). Eviction is O(1): `swap_remove` on the
+/// age-stamped minimum instead of the former `remove(0)` front shift.
 pub(crate) fn retire_version<T: TaskData>(
     st: &mut ObjState<T>,
     buf: Arc<VBuf<T>>,
@@ -284,22 +388,25 @@ pub(crate) fn retire_version<T: TaskData>(
     if !pool {
         return; // dropping here releases the version as before the pool
     }
-    st.retired.push(RetiredVersion { buf });
+    let age = st.retire_clock;
+    st.retire_clock += 1;
+    st.retired.push(RetiredVersion { buf, age });
     while st.retired.len() > RETIRED_SPARES {
-        let dead = st
+        let pick = st
             .retired
             .iter()
-            .position(|r| Arc::strong_count(&r.buf) == 1);
-        match dead {
-            Some(i) => {
-                st.retired.swap_remove(i);
-            }
-            // No dead entry: evict the oldest live one (readers keep it
-            // alive through their own Arcs; we only lose its reuse).
-            None => {
-                st.retired.remove(0);
-            }
-        }
+            .position(|r| Arc::strong_count(&r.buf) == 1)
+            .unwrap_or_else(|| {
+                // No dead entry: evict the oldest live one (readers keep
+                // it alive through their own Arcs; we only lose reuse).
+                st.retired
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, r)| r.age)
+                    .map(|(i, _)| i)
+                    .expect("len > RETIRED_SPARES >= 1")
+            });
+        st.retired.swap_remove(pick);
     }
 }
 
@@ -350,7 +457,31 @@ mod tests {
             Box::new(|| 0),
             4,
             Arc::new(AtomicUsize::new(0)),
+            None,
+            false,
         )
+    }
+
+    /// The legacy pool's oldest-live eviction is O(1) and age-exact:
+    /// even after `swap_remove` scrambles positions, the minimum age
+    /// stamp (not slot 0) is what gets evicted.
+    #[test]
+    fn legacy_eviction_picks_minimum_age_not_front_slot() {
+        let o = obj(0);
+        let mut st = o.state.lock();
+        // Park 5 live versions (keep clones so none is dead).
+        let mut held = Vec::new();
+        for _ in 0..5 {
+            let b = o.fresh_version_buf(TicketCharge::NONE);
+            held.push(Arc::clone(&b));
+            let st = &mut *st;
+            retire_version(st, b, true);
+        }
+        // Cap is RETIRED_SPARES: the survivors must be the two highest
+        // ages regardless of where swap_remove parked them.
+        let mut ages: Vec<u64> = st.retired.iter().map(|r| r.age).collect();
+        ages.sort_unstable();
+        assert_eq!(ages, vec![3, 4]);
     }
 
     #[test]

@@ -51,6 +51,13 @@ use crate::runtime::session::SessionCtl;
 /// different session keeps its original ticket and hence its original
 /// attribution (the pool hit allocates nothing, so there is nothing new
 /// to attribute).
+///
+/// The ticket travels **inside** its [`VBuf`], so it is released by the
+/// buffer's final `Arc` drop and nothing else. This is the accounting
+/// invariant the version slab ([`super::slab`]) leans on: parking,
+/// reusing, trimming, or evicting a spare that readers still hold only
+/// moves `Arc` clones, so the account cannot drop bytes a reader still
+/// has resident — it stays exact from allocation to final release.
 pub(crate) struct MemTicket {
     bytes: usize,
     acct: Arc<AtomicUsize>,

@@ -135,6 +135,11 @@ pub(crate) fn write<T: TaskData, H: SpawnHost>(
         };
         if let Some(hit) = pooled_rename {
             sp.stats().renames();
+            // A hit means the rename reused a parked buffer — from the
+            // runtime-wide size-classed slab by default, or from this
+            // object's own `retired` list under `version_slab(false)`.
+            // Which store served it never changes the analysis: the
+            // graph is decided before the buffer's origin is known.
             if hit {
                 sp.stats().version_pool_hits();
             }

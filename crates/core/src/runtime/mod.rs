@@ -200,6 +200,11 @@ pub struct Shared {
     /// Bytes held by live data versions (initial buffers + renamed
     /// copies); watched by the §III memory-limit blocking condition.
     pub(crate) live_bytes: Arc<AtomicUsize>,
+    /// The runtime-wide size-classed store displaced version buffers
+    /// park in awaiting reuse ([`data::slab::VersionSlab`]); `None`
+    /// when `version_slab(false)` keeps the legacy per-object spares
+    /// (the `slab_ablation` baseline) or pooling is off entirely.
+    pub(crate) slab: Option<Arc<crate::data::slab::VersionSlab>>,
     /// Single-writer spawn counter (the spawn count doubles as the
     /// liveness numerator). Padded: the spawner bumps it per task while
     /// workers read it in completion probes — without padding it would
@@ -293,6 +298,19 @@ impl Shared {
         // (concurrent spawners, gated object access, RMW id minting)
         // regardless of the shard count.
         let sharded = shards > 1 || cfg.sessions;
+        // Spare cap: the explicit knob, else the memory limit (spares
+        // should never out-budget the throttle), else a fixed default.
+        let slab = (cfg.version_pool && cfg.version_slab).then(|| {
+            let cap = cfg
+                .slab_spare_bytes
+                .or(cfg.memory_limit)
+                .unwrap_or(crate::data::slab::DEFAULT_SPARE_CAP);
+            // `sharded` doubles as the slab's access mode: only
+            // submitter lanes (shards >= 2) or sessions let a second
+            // thread into the rename/reclaim paths, so the default
+            // runtime shape gets tripwire shelf gates instead of CAS.
+            Arc::new(crate::data::slab::VersionSlab::new(cap, sharded))
+        });
         let mut stats = Stats::new(n);
         // Sharded analysis has concurrent spawners: the spawner-side
         // counters switch from single-writer load+store to RMWs.
@@ -312,6 +330,7 @@ impl Shared {
             stealers,
             finished: (0..n).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
             live_bytes: Arc::new(AtomicUsize::new(0)),
+            slab,
             next_task: CachePadded::new(AtomicU64::new(0)),
             next_obj: AtomicU64::new(0),
             sleep: SleepCtl::default(),
@@ -336,6 +355,36 @@ impl Shared {
     #[inline]
     pub(crate) fn faulted(&self) -> bool {
         self.faulted.load(Ordering::Relaxed)
+    }
+
+    /// Ask the version slab to free dead parked spares until the live
+    /// account fits `limit` again; returns the bytes released. This is
+    /// what makes the §III blocking conditions real backpressure: the
+    /// throttle, the submitter backoff loop and the session quota probe
+    /// all reclaim before (and instead of) waiting. Cheap when there is
+    /// nothing to do — no slab, under the limit, or nothing parked.
+    pub(crate) fn reclaim_spares(&self, limit: usize) -> usize {
+        match &self.slab {
+            Some(slab) => {
+                let live = self.live_bytes.load(Ordering::Acquire);
+                if live > limit {
+                    slab.reclaim(live - limit)
+                } else {
+                    0
+                }
+            }
+            None => 0,
+        }
+    }
+
+    /// Free up to `want` bytes of dead parked spares unconditionally —
+    /// the session quota probe's variant of [`reclaim_spares`]
+    /// (session attribution travels with each ticket, so global frees
+    /// are how a session gets its quota bytes back).
+    ///
+    /// [`reclaim_spares`]: Shared::reclaim_spares
+    pub(crate) fn reclaim_dead_spares(&self, want: usize) -> usize {
+        self.slab.as_ref().map_or(0, |s| s.reclaim(want))
     }
 
     /// Has any [`Runtime::session`] been opened? One Relaxed flag load;
@@ -792,18 +841,34 @@ impl Runtime {
         value: T,
         alloc: impl Fn() -> T + Send + Sync + 'static,
     ) -> Handle<T> {
-        self.data_sized(value, std::mem::size_of::<T>(), alloc)
+        // `size_of::<T>()` says nothing about heap shape, so these
+        // objects reuse slab spares only within their own bucket.
+        self.data_inner(value, std::mem::size_of::<T>(), alloc, false)
     }
 
     /// Like [`data_with_alloc`](Self::data_with_alloc) with an explicit
     /// per-version byte count for the memory-limit accounting — use it
     /// for heap-backed payloads, where `size_of::<T>()` only sees the
-    /// header (e.g. `m*m*4` for an `m x m` f32 block).
+    /// header (e.g. `m*m*4` for an `m x m` f32 block). The byte count
+    /// is a shape contract, like the paper's dimension specifiers: the
+    /// allocator must produce values of exactly this size, which is
+    /// what lets the version slab resurrect another object's spare of
+    /// the same type + size for this one.
     pub fn data_sized<T: TaskData>(
         &self,
         value: T,
         version_bytes: usize,
         alloc: impl Fn() -> T + Send + Sync + 'static,
+    ) -> Handle<T> {
+        self.data_inner(value, version_bytes, alloc, true)
+    }
+
+    fn data_inner<T: TaskData>(
+        &self,
+        value: T,
+        version_bytes: usize,
+        alloc: impl Fn() -> T + Send + Sync + 'static,
+        shape_exact: bool,
     ) -> Handle<T> {
         let next = self.shared.next_obj.load(Ordering::Relaxed) + 1;
         self.shared.next_obj.store(next, Ordering::Relaxed);
@@ -815,6 +880,8 @@ impl Runtime {
                 Box::new(alloc),
                 version_bytes,
                 Arc::clone(&self.shared.live_bytes),
+                self.shared.slab.clone(),
+                shape_exact,
             )),
         }
     }
@@ -1112,9 +1179,22 @@ impl Runtime {
         self.finish_helping();
     }
 
-    /// Snapshot of the runtime counters.
+    /// Snapshot of the runtime counters. The slab occupancy gauges
+    /// (`slab_*`, `version_bytes_*`) are overlaid here from the live
+    /// slab and byte account — they are point-in-time states, not
+    /// monotonic event counters like the rest of the snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut snap = self.shared.stats.snapshot();
+        snap.version_bytes_live = self.shared.live_bytes.load(Ordering::Acquire) as u64;
+        if let Some(slab) = &self.shared.slab {
+            let c = slab.counters();
+            snap.slab_hits = c.hits;
+            snap.slab_evicted_dead = c.evicted_dead;
+            snap.slab_evicted_live = c.evicted_live;
+            snap.slab_parked_bytes = c.parked_bytes as u64;
+            snap.version_bytes_peak = slab.peak() as u64;
+        }
+        snap
     }
 
     /// Number of live (spawned, unfinished) tasks.
@@ -1324,6 +1404,11 @@ impl Runtime {
             }
         }
         if let Some(limit) = self.shared.cfg.memory_limit {
+            // Dead parked spares are the cheapest bytes to give back:
+            // reclaim them from the slab before blocking at all.
+            if self.shared.live_bytes.load(Ordering::Acquire) > limit {
+                self.shared.reclaim_spares(limit);
+            }
             if self.shared.live_bytes.load(Ordering::Acquire) > limit {
                 engaged = true;
                 self.shared.stats.throttle_blocks();
@@ -1336,9 +1421,19 @@ impl Runtime {
                     && self.shared.live_now() > 0
                 {
                     if !self.help_once() {
-                        std::thread::yield_now();
+                        // Helping found nothing; completions elsewhere
+                        // may have killed parked spares' readers, so a
+                        // reclaim pass can make progress a yield can't.
+                        if self.shared.reclaim_spares(limit) == 0 {
+                            std::thread::yield_now();
+                        }
                     }
                 }
+                // Tasks the loop (or its helpers) finished may have
+                // released the last reader Arcs of parked spares after
+                // the final reclaim pass — sweep once more so the
+                // account settles at or under the limit when possible.
+                self.shared.reclaim_spares(limit);
                 self.finish_helping();
                 self.shared.trace_event(0, EventKind::BarrierEnd);
             }

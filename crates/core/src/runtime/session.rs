@@ -428,7 +428,17 @@ impl Session {
         }
         if let Some(limit) = cfg.session_max_renamed_bytes {
             if self.ctl.bytes() > limit {
-                return Some(OverloadReason::RenamedBytes);
+                // Versions this session renamed may be sitting dead in
+                // the runtime's slab, still charged to our quota (a
+                // parked spare keeps its ticket, and the ticket its
+                // session attribution, until it is dropped). Ask the
+                // slab to free dead spares before refusing or blocking:
+                // each one minted by us returns its bytes to the quota
+                // through the ticket's drop.
+                self.shared.reclaim_dead_spares(self.ctl.bytes() - limit);
+                if self.ctl.bytes() > limit {
+                    return Some(OverloadReason::RenamedBytes);
+                }
             }
         }
         None

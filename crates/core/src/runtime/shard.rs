@@ -275,11 +275,23 @@ impl SpawnHost for Submitter {
             if shared.live_bytes.load(Ordering::Acquire) > limit && shared.live_now() > 0 {
                 // About to wait on the account: return this lane's
                 // un-spent surplus first, so the wait watches true live
-                // bytes rather than our own pre-payment.
+                // bytes rather than our own pre-payment — then give the
+                // version slab a chance to free dead parked spares
+                // before blocking at all.
                 self.credit.release();
-                shared.stats.throttle_blocks();
-                while shared.live_bytes.load(Ordering::Acquire) > limit && shared.live_now() > 0 {
-                    std::thread::yield_now();
+                shared.reclaim_spares(limit);
+                if shared.live_bytes.load(Ordering::Acquire) > limit && shared.live_now() > 0 {
+                    shared.stats.throttle_blocks();
+                    while shared.live_bytes.load(Ordering::Acquire) > limit
+                        && shared.live_now() > 0
+                    {
+                        // Completions may have killed the last readers
+                        // of parked spares; a reclaim pass frees bytes
+                        // a bare yield would keep waiting on.
+                        if shared.reclaim_spares(limit) == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
                 }
             }
         }

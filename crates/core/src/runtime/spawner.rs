@@ -324,6 +324,10 @@ impl<'rt, H: SpawnHost> TaskSpawner<'rt, H> {
         self.record
     }
 
+    /// Whether renames may reuse parked version buffers at all. With
+    /// pooling on, the store is the runtime-wide size-classed slab by
+    /// default (`Shared::slab`), or the legacy per-object `retired`
+    /// list under `version_slab(false)` — `rename_current` picks.
     pub(crate) fn version_pooling(&self) -> bool {
         self.rt.shared().cfg.version_pool
     }

@@ -282,6 +282,14 @@ impl Stats {
             admission_sheds: ld(&self.admission_sheds),
             admission_waits: ld(&self.admission_waits),
             deadline_fires: ld(&self.deadline_fires),
+            // Slab occupancy lives with the slab, not in this event-
+            // counter block; `Runtime::stats` overlays it.
+            slab_hits: 0,
+            slab_evicted_dead: 0,
+            slab_evicted_live: 0,
+            slab_parked_bytes: 0,
+            version_bytes_live: 0,
+            version_bytes_peak: 0,
         }
     }
 }
@@ -347,6 +355,27 @@ pub struct StatsSnapshot {
     /// Session deadlines that fired (shed at admission or cancelled at
     /// dispatch).
     pub deadline_fires: u64,
+    /// Renames served by the runtime-wide version slab (subset of
+    /// `version_pool_hits`; zero with
+    /// [`version_slab(false)`](crate::RuntimeBuilder::version_slab)).
+    pub slab_hits: u64,
+    /// Parked spares evicted while dead — their memory tickets released
+    /// the bytes immediately (spare-cap trims + backpressure reclaims).
+    pub slab_evicted_dead: u64,
+    /// Parked spares evicted while readers still held them: only the
+    /// slab's clone was dropped; the bytes stay charged until the last
+    /// reader drops (the accounting invariant the slab pins).
+    pub slab_evicted_live: u64,
+    /// Bytes currently parked in the slab as reusable spares. A gauge,
+    /// not a counter — overlaid at [`Runtime::stats`](crate::Runtime::stats)
+    /// time, like the two fields below.
+    pub slab_parked_bytes: u64,
+    /// Current live-version bytes (the §III account), as
+    /// [`Runtime::live_version_bytes`](crate::Runtime::live_version_bytes).
+    pub version_bytes_live: u64,
+    /// High-water mark of the live-version account, sampled at every
+    /// fresh version allocation. Zero without the slab.
+    pub version_bytes_peak: u64,
 }
 
 impl StatsSnapshot {

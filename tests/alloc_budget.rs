@@ -161,54 +161,69 @@ fn steady_state_spawning_stays_within_the_documented_budget() {
         fan_tasks
     );
 
-    // --- rename churn: the version pool absorbs buffer allocation ----
+    // --- rename churn: the version store absorbs buffer allocation ---
     // Reader-then-writer pairs force a rename on nearly every writer
-    // (the BENCH_0003 `rename_storm` shape). With the pool, renames
-    // reuse retired buffers (the read-window counter now lives inside
-    // the buffer, one liveness check instead of two) and successor
-    // links recycle, so the budget tightened from two allocations per
-    // task to one.
+    // (the BENCH_0003 `rename_storm` shape). With a version store,
+    // renames reuse retired buffers (the read-window counter lives
+    // inside the buffer, one liveness check instead of two) and
+    // successor links recycle, so the budget tightened from two
+    // allocations per task to one. Measured for BOTH stores — the
+    // global size-classed slab (the default) and the per-object spares
+    // it replaced (`version_slab(false)`) — so the slab is held to the
+    // budget the legacy path set, and the ablation cannot regress it.
     const PAIRS: u64 = 2_048;
-    let rt = Runtime::builder().threads(1).graph_size_limit(64).build();
-    let objs: Vec<_> = (0..16)
-        .map(|_| rt.data_sized(vec![0f32; 64], 256, || vec![0f32; 64]))
-        .collect();
-    let churn = |pairs: u64| {
-        for i in 0..pairs {
-            let h = &objs[(i % 16) as usize];
-            let mut sp = rt.task("r");
-            let mut r = sp.read(h);
-            sp.submit(move || {
-                std::hint::black_box(r.get()[0]);
-            });
-            let mut sp = rt.task("w");
-            let mut w = sp.write(h);
-            sp.submit(move || w.get_mut()[0] = 1.0);
-        }
-        rt.barrier();
+    let churn_delta = |slab: bool| -> u64 {
+        let rt = Runtime::builder()
+            .threads(1)
+            .graph_size_limit(64)
+            .version_slab(slab)
+            .build();
+        let objs: Vec<_> = (0..16)
+            .map(|_| rt.data_sized(vec![0f32; 64], 256, || vec![0f32; 64]))
+            .collect();
+        let churn = |pairs: u64| {
+            for i in 0..pairs {
+                let h = &objs[(i % 16) as usize];
+                let mut sp = rt.task("r");
+                let mut r = sp.read(h);
+                sp.submit(move || {
+                    std::hint::black_box(r.get()[0]);
+                });
+                let mut sp = rt.task("w");
+                let mut w = sp.write(h);
+                sp.submit(move || w.get_mut()[0] = 1.0);
+            }
+            rt.barrier();
+        };
+        let delta = measure(|| churn(1_024), || churn(PAIRS));
+        let st = rt.stats();
+        assert!(
+            st.renames > PAIRS / 2,
+            "the churn must actually rename (renames={} slab={slab})",
+            st.renames
+        );
+        assert!(
+            st.version_pool_hits > st.renames * 3 / 4,
+            "the version store must serve steady-state renames \
+             (hits={} renames={} slab={slab})",
+            st.version_pool_hits,
+            st.renames
+        );
+        drop(rt);
+        delta
     };
-    let delta = measure(|| churn(1_024), || churn(PAIRS));
-    let st = rt.stats();
-    assert!(
-        st.renames > PAIRS / 2,
-        "the churn must actually rename (renames={})",
-        st.renames
-    );
-    assert!(
-        st.version_pool_hits > st.renames * 3 / 4,
-        "the version pool must serve steady-state renames \
-         (hits={} renames={})",
-        st.version_pool_hits,
-        st.renames
-    );
-    drop(rt);
     let tasks = PAIRS * 2;
-    assert!(
-        delta <= tasks,
-        "rename churn budget is ≤1 allocation per task, measured {} for {}",
-        delta,
-        tasks
-    );
+    for slab in [true, false] {
+        let delta = churn_delta(slab);
+        assert!(
+            delta <= tasks,
+            "rename churn budget is ≤1 allocation per task, measured {} \
+             for {} (slab={})",
+            delta,
+            tasks,
+            slab
+        );
+    }
 
     // --- sharded spawning: per-lane pools keep submitters at 0 -------
     // The BENCH_0006 claim: a sharded runtime's per-lane free stacks

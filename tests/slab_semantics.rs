@@ -1,0 +1,312 @@
+//! The size-classed version slab must be invisible in program
+//! semantics and exact in its byte accounting.
+//!
+//! Three layers of evidence, matching the BENCH_0009 gate:
+//!
+//! 1. **Graph equality.** For random task programs, a runtime with the
+//!    global slab (`version_slab(true)`, the default) records
+//!    *bit-identical* dependency graphs to the per-object-spares path
+//!    (`version_slab(false)`) — same nodes, same edges, same order —
+//!    across threads {1,8} × shards {1,4} × sessions on/off, and even
+//!    with a zero-byte spare cap that forces an eviction for every
+//!    parked version mid-run. Where a renamed buffer comes *from* may
+//!    never change one analysis decision.
+//! 2. **Live-eviction accounting.** Evicting a still-read parked
+//!    version releases slab occupancy but must NOT release its memory
+//!    ticket: the ticket travels inside the buffer and only the final
+//!    reader's release returns the bytes. A read window held open
+//!    across forced evictions pins the account at its exact value.
+//! 3. **Backpressure.** Under rename churn with a working set far
+//!    beyond `memory_limit`, the spare pool plus the spawner stall
+//!    keeps peak resident version bytes next to the limit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use smpss::Runtime;
+
+/// A random straight-line program over whole-object cells. Half the
+/// cells are created with `data` (owned reuse scope: spares return to
+/// their object only), half with `data_sized` (shared scope: spares
+/// cross objects through the slab's size class) — so both `ReuseKey`
+/// scopes face the equality gate.
+#[derive(Clone, Debug)]
+enum Op {
+    /// cells[dst] = cells[a] + cells[b]
+    Add { a: usize, b: usize, dst: usize },
+    /// cells[dst] += cells[a]
+    Acc { a: usize, dst: usize },
+    /// cells[dst] = k
+    Set { dst: usize, k: i64 },
+}
+
+const CELLS: usize = 6;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CELLS, 0..CELLS, 0..CELLS).prop_map(|(a, b, dst)| Op::Add { a, b, dst }),
+        (0..CELLS, 0..CELLS).prop_map(|(a, dst)| Op::Acc { a, dst }),
+        (0..CELLS, -100i64..100).prop_map(|(dst, k)| Op::Set { dst, k }),
+    ]
+}
+
+/// Ground truth: run the program sequentially.
+fn run_sequential(ops: &[Op]) -> Vec<i64> {
+    let mut cells = vec![0i64; CELLS];
+    for op in ops {
+        match *op {
+            Op::Add { a, b, dst } => cells[dst] = cells[a].wrapping_add(cells[b]),
+            Op::Acc { a, dst } => cells[dst] = cells[dst].wrapping_add(cells[a]),
+            Op::Set { dst, k } => cells[dst] = k,
+        }
+    }
+    cells
+}
+
+/// Drive the program through a spawner source — `$spawn` is a closure
+/// returning a ready `TaskSpawner`, so one body serves both the
+/// runtime front door and the session front door (their spawner types
+/// differ only in the parent parameter).
+macro_rules! drive {
+    ($ops:expr, $cells:expr, $spawn:expr) => {
+        for op in $ops {
+            match *op {
+                Op::Add { a, b, dst } => {
+                    let mut sp = $spawn("add");
+                    let mut ra = sp.read(&$cells[a]);
+                    let mut rb = sp.read(&$cells[b]);
+                    let mut w = sp.write(&$cells[dst]);
+                    sp.submit(move || *w.get_mut() = ra.get().wrapping_add(*rb.get()));
+                }
+                Op::Acc { a, dst } => {
+                    let mut sp = $spawn("acc");
+                    let mut ra = sp.read(&$cells[a]);
+                    let mut w = sp.inout(&$cells[dst]);
+                    sp.submit(move || *w.get_mut() = w.get_mut().wrapping_add(*ra.get()));
+                }
+                Op::Set { dst, k } => {
+                    let mut sp = $spawn("set");
+                    let mut w = sp.write(&$cells[dst]);
+                    sp.submit(move || *w.get_mut() = k);
+                }
+            }
+        }
+    };
+}
+
+type Recorded = (
+    Vec<i64>,
+    Vec<smpss::graph::record::NodeInfo>,
+    Vec<(smpss::TaskId, smpss::TaskId, smpss::graph::record::EdgeKind)>,
+);
+
+/// Run the program with the given scheduler shape, recording the
+/// graph. `spare` overrides the slab's spare-byte cap (`Some(0)`
+/// starves it: every park evicts immediately).
+fn run_recorded(
+    ops: &[Op],
+    threads: usize,
+    shards: usize,
+    sessions: bool,
+    slab: bool,
+    spare: Option<usize>,
+) -> Recorded {
+    let mut b = Runtime::builder()
+        .threads(threads)
+        .shards(shards)
+        .record_graph(true)
+        .version_slab(slab);
+    if sessions {
+        b = b.sessions(true);
+    }
+    if let Some(cap) = spare {
+        b = b.slab_spare_bytes(cap);
+    }
+    let rt = b.build();
+    let cells: Vec<_> = (0..CELLS)
+        .map(|i| {
+            if i % 2 == 0 {
+                rt.data(0i64)
+            } else {
+                rt.data_sized(0i64, std::mem::size_of::<i64>(), || 0i64)
+            }
+        })
+        .collect();
+    if sessions {
+        // Drained by the barrier below, not `Session::wait` — a session
+        // wait helps nobody, and `threads(1)` has no worker besides the
+        // barrier-helping main thread.
+        let sess = rt.session();
+        drive!(ops, cells, (|n| sess.task(n).expect("no quota configured")));
+    } else {
+        drive!(ops, cells, (|n| rt.task(n)));
+    }
+    rt.barrier();
+    let vals = cells.iter().map(|h| rt.read(h)).collect();
+    let g = rt.graph().expect("graph recording was enabled");
+    (vals, g.nodes().to_vec(), g.edges().to_vec())
+}
+
+/// threads {1,8} × shards {1,4} × sessions on/off, covered pairwise.
+const COMBOS: &[(usize, usize, bool)] = &[
+    (1, 1, false),
+    (8, 4, false),
+    (1, 4, true),
+    (8, 1, true),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The BENCH_0009 equality gate: for every scheduler shape, the
+    /// slab and the per-object-spares path record the same graph, node
+    /// for node and edge for edge, and both produce the sequential
+    /// values — including a starved slab whose every park evicts.
+    #[test]
+    fn the_slab_never_changes_the_recorded_graph(
+        ops in prop::collection::vec(op_strategy(), 1..60)
+    ) {
+        let expect = run_sequential(&ops);
+        for &(threads, shards, sessions) in COMBOS {
+            let on = run_recorded(&ops, threads, shards, sessions, true, None);
+            let off = run_recorded(&ops, threads, shards, sessions, false, None);
+            prop_assert_eq!(&on.0, &expect, "slab-on values (t{} sh{} sess {})", threads, shards, sessions);
+            prop_assert_eq!(&off.0, &expect, "slab-off values (t{} sh{} sess {})", threads, shards, sessions);
+            prop_assert_eq!(&on.1, &off.1, "nodes (t{} sh{} sess {})", threads, shards, sessions);
+            prop_assert_eq!(&on.2, &off.2, "edges (t{} sh{} sess {})", threads, shards, sessions);
+        }
+        // Cap 0: every parked version is evicted on the spot — renames
+        // always miss, eviction runs on the analysis path, and none of
+        // it may leak into one analysis decision.
+        let starved = run_recorded(&ops, 2, 1, false, true, Some(0));
+        let off = run_recorded(&ops, 2, 1, false, false, None);
+        prop_assert_eq!(&starved.0, &expect);
+        prop_assert_eq!(&starved.1, &off.1, "nodes (starved slab)");
+        prop_assert_eq!(&starved.2, &off.2, "edges (starved slab)");
+    }
+}
+
+/// The regression the slab was built around: a parked version that
+/// still has a read window open can be *evicted from the slab* (its
+/// spare-pool occupancy released) without its memory ticket moving an
+/// inch. The ticket lives inside the buffer and only the last reader's
+/// release returns the bytes — so the live account stays exact from
+/// allocation to final release, through park, eviction and drain.
+#[test]
+fn live_eviction_keeps_the_account_exact() {
+    const BYTES: usize = 4096;
+    let rt = Runtime::builder()
+        .threads(2)
+        // Starve the spare pool: every parked version evicts
+        // immediately, while its reader still holds a window.
+        .slab_spare_bytes(0)
+        .build();
+    let h = rt.data_sized(vec![0u8; BYTES], BYTES, || vec![0u8; BYTES]);
+    assert_eq!(rt.live_version_bytes(), BYTES, "initial version charged");
+
+    // Each round pins a reader open on the current version, then
+    // renames it away: the parked version is live (pending reader), the
+    // cap-0 slab evicts it on the analysis path, and the eviction must
+    // not return its ticket.
+    let gate = Arc::new(AtomicBool::new(false));
+    const ROUNDS: usize = 3;
+    for _ in 0..ROUNDS {
+        let g = Arc::clone(&gate);
+        let mut sp = rt.task("pinned-reader");
+        let mut r = sp.read(&h);
+        sp.submit(move || {
+            std::hint::black_box(r.get().len());
+            while !g.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+        });
+        let mut sp = rt.task("renamer");
+        let mut w = sp.write(&h);
+        sp.submit(move || w.get_mut()[0] = 1);
+    }
+
+    // Renames happen at submit time on this thread, so the account is
+    // deterministic here: three renamed-away versions — each evicted
+    // live — plus the current one.
+    assert_eq!(
+        rt.live_version_bytes(),
+        (ROUNDS + 1) * BYTES,
+        "evicting a live parked version must not release its ticket"
+    );
+    let st = rt.stats();
+    assert_eq!(
+        st.slab_evicted_live, ROUNDS as u64,
+        "every parked version was evicted while its reader was open"
+    );
+    assert_eq!(st.slab_hits, 0, "a starved slab never serves a rename");
+    assert_eq!(st.slab_parked_bytes, 0, "cap 0 keeps the pool empty");
+    assert_eq!(
+        st.version_bytes_peak,
+        ((ROUNDS + 1) * BYTES) as u64,
+        "peak samples the exact account"
+    );
+
+    // Release the read windows: the evicted versions' last Arcs drop,
+    // their tickets return, and only the current version stays charged.
+    gate.store(true, Ordering::Release);
+    rt.barrier();
+    assert_eq!(
+        rt.live_version_bytes(),
+        BYTES,
+        "after the last reader drops, exactly the current version remains"
+    );
+}
+
+/// The backpressure half of the BENCH_0009 gate, in miniature: rename
+/// churn pushes a working set far beyond `memory_limit`, and the spare
+/// pool (reuse + dead-spare reclaim + spawner stall) keeps peak
+/// resident version bytes next to the limit instead of the working
+/// set.
+#[test]
+fn memory_throttle_bounds_resident_bytes_under_churn() {
+    const VERSION: usize = 16 * 1024;
+    const LIMIT: usize = 256 * 1024;
+    const OBJECTS: usize = 8;
+    const ROUNDS: usize = 400;
+    let rt = Runtime::builder().threads(2).memory_limit(LIMIT).build();
+    let objs: Vec<_> = (0..OBJECTS)
+        .map(|_| rt.data_sized(vec![0u8; VERSION], VERSION, || vec![0u8; VERSION]))
+        .collect();
+    for i in 0..ROUNDS {
+        let h = &objs[i % OBJECTS];
+        let mut sp = rt.task("r");
+        let mut r = sp.read(h);
+        // A real body keeps the read window open across the writer's
+        // analysis, so the writer reliably renames (see the identical
+        // pattern in `rename_churn`).
+        sp.submit(move || {
+            std::hint::black_box(r.get().iter().map(|&b| b as u64).sum::<u64>());
+        });
+        let mut sp = rt.task("w");
+        let mut w = sp.write(h);
+        sp.submit(move || w.get_mut()[0] = 1);
+    }
+    rt.barrier();
+    let st = rt.stats();
+    assert!(
+        st.renames > (ROUNDS / 2) as u64,
+        "the churn must actually rename (renames={})",
+        st.renames
+    );
+    let working = st.renames as usize * VERSION + OBJECTS * VERSION;
+    assert!(
+        working >= 8 * LIMIT,
+        "the working set must dwarf the limit (working={working} limit={LIMIT})"
+    );
+    assert!(
+        st.version_bytes_peak as usize <= LIMIT + 2 * VERSION,
+        "peak resident bytes must hug the throttle \
+         (peak={} limit={LIMIT} working={working})",
+        st.version_bytes_peak
+    );
+    assert!(
+        st.slab_hits > 0,
+        "steady-state churn at the limit is served from the spare pool"
+    );
+}
